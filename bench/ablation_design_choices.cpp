@@ -1,0 +1,95 @@
+// Beyond-paper ablation: the three implementation choices this repro's
+// DESIGN.md calls out, each toggled independently under identical budgets
+// (MobileNetV2 @ Eyeriss resources):
+//   1. grow-to-fit tile decoding (genes as growth priorities vs raw ratios)
+//   2. warm-starting the outer search with the envelope's baseline design
+//   3. seeding the mapping search with the canonical dataflow mappings
+// The table reports the searched EDP reduction vs the stock baseline for
+// the full configuration and with each choice disabled.
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace naas;
+
+void reproduce_ablation(const bench::Budget& budget) {
+  bench::print_header(
+      "Ablation (beyond paper): grow-to-fit / warm start / canonical seeds");
+
+  const cost::CostModel model;
+  const nn::Network net = nn::make_mobilenet_v2();
+  const auto rc = arch::eyeriss_resources();
+  const auto base =
+      bench::baseline_cost_stock(model, arch::baseline_for(rc), net);
+
+  struct Variant {
+    const char* name;
+    bool grow;
+    bool warm_start;
+    bool canonical_seeds;
+  };
+  const Variant variants[] = {
+      {"full (all enabled)", true, true, true},
+      {"no grow-to-fit", false, true, true},
+      {"no warm start", true, false, true},
+      {"no canonical seeds", true, true, false},
+      {"none (raw search)", false, false, false},
+  };
+
+  core::Table t({"Variant", "EDP reduction", "vs full"});
+  double full_reduction = 0;
+  for (const auto& v : variants) {
+    search::NaasOptions opts = budget.naas_options(rc);
+    opts.mapping.encoding.grow_tiles = v.grow;
+    opts.seed_baseline = v.warm_start;
+    opts.mapping.seed_canonical = v.canonical_seeds;
+    const auto res = search::run_naas(model, opts, {net});
+    const double reduction = std::isfinite(res.best_geomean_edp)
+                                 ? base.edp / res.best_networks[0].edp
+                                 : 0.0;
+    if (full_reduction == 0) full_reduction = reduction;
+    t.add_row({v.name, core::Table::fmt(reduction, 2),
+               core::Table::fmt(reduction / full_reduction, 2)});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf(
+      "Expected: the three mechanisms are redundant safety nets — any\n"
+      "single one disabled is largely compensated by the others (single\n"
+      "toggles land within noise of full), but disabling all three\n"
+      "collapses search quality by several-fold ('none' row).\n");
+}
+
+void BM_GrowToFitDecode(benchmark::State& state) {
+  search::MapEncodingSpec spec;
+  const auto arch = arch::eyeriss_arch();
+  const nn::ConvLayer layer = nn::make_conv("c", 128, 128, 3, 1, 28);
+  std::vector<double> genome(static_cast<std::size_t>(spec.genome_size()),
+                             0.4);
+  for (auto _ : state) {
+    auto m = spec.decode(genome, arch, layer);
+    benchmark::DoNotOptimize(m.dram.tile[0]);
+  }
+}
+BENCHMARK(BM_GrowToFitDecode);
+
+void BM_RawDecode(benchmark::State& state) {
+  search::MapEncodingSpec spec;
+  spec.grow_tiles = false;
+  const auto arch = arch::eyeriss_arch();
+  const nn::ConvLayer layer = nn::make_conv("c", 128, 128, 3, 1, 28);
+  std::vector<double> genome(static_cast<std::size_t>(spec.genome_size()),
+                             0.4);
+  for (auto _ : state) {
+    auto m = spec.decode(genome, arch, layer);
+    benchmark::DoNotOptimize(m.dram.tile[0]);
+  }
+}
+BENCHMARK(BM_RawDecode);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  reproduce_ablation(naas::bench::Budget::from_env());
+  return naas::bench::run_microbenchmarks(argc, argv);
+}

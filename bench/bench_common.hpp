@@ -1,0 +1,109 @@
+#pragma once
+
+// Shared plumbing for the per-figure/table bench binaries.
+//
+// Every binary follows the same shape:
+//   1. deterministically regenerate the paper's table/figure data with
+//      scaled-down search budgets (NAAS_BENCH_FULL=1 selects paper-scale
+//      budgets; NAAS_BENCH_SEED overrides the seed), then
+//   2. run google-benchmark microbenchmarks of the kernels involved.
+//
+// Baseline methodology (matches the paper): a baseline accelerator runs
+// its *native dataflow* with tiling optimized per layer (tiling-only
+// mapping search, canonical loop orders); NAAS additionally searches
+// connectivity, loop orders, and the architectural sizing.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "arch/presets.hpp"
+#include "arch/resources.hpp"
+#include "core/env.hpp"
+#include "core/table.hpp"
+#include "cost/network_cost.hpp"
+#include "nn/model_zoo.hpp"
+#include "search/accelerator_search.hpp"
+
+namespace naas::bench {
+
+/// Search budgets used by all benches; scaled by NAAS_BENCH_FULL.
+struct Budget {
+  int hw_population;
+  int hw_iterations;
+  int map_population;
+  int map_iterations;
+  std::uint64_t seed;
+
+  static Budget from_env() {
+    const bool full = core::env_flag("NAAS_BENCH_FULL", false);
+    Budget b;
+    b.hw_population = full ? 16 : 10;
+    b.hw_iterations = full ? 20 : 8;
+    b.map_population = full ? 12 : 8;
+    b.map_iterations = full ? 10 : 5;
+    b.seed = static_cast<std::uint64_t>(core::env_int("NAAS_BENCH_SEED", 1));
+    return b;
+  }
+
+  search::NaasOptions naas_options(const arch::ResourceConstraint& rc) const {
+    search::NaasOptions opts;
+    opts.resources = rc;
+    opts.population = hw_population;
+    opts.iterations = hw_iterations;
+    opts.seed = seed;
+    opts.mapping.population = map_population;
+    opts.mapping.iterations = map_iterations;
+    opts.mapping.seed = seed;
+    return opts;
+  }
+};
+
+/// Stock baseline cost: native dataflow, canonical orders, greedy maximal
+/// tiling — the accelerator exactly as its standard compiler maps it. This
+/// is the paper's comparison point ("2.6x faster than EdgeTPU").
+inline cost::NetworkCost baseline_cost_stock(const cost::CostModel& model,
+                                             const arch::ArchConfig& baseline,
+                                             const nn::Network& net) {
+  return cost::evaluate_network_canonical(model, baseline, net);
+}
+
+/// Tuned baseline cost: same fixed dataflow but with per-layer tiling
+/// search (the strongest mapping a fixed-dataflow accelerator could get).
+/// Reported alongside the stock number so readers see how much of NAAS's
+/// gain survives against a well-tuned baseline compiler.
+inline cost::NetworkCost baseline_cost_tuned(const cost::CostModel& model,
+                                             const arch::ArchConfig& baseline,
+                                             const nn::Network& net,
+                                             const Budget& budget) {
+  search::MappingSearchOptions mopts;
+  mopts.population = budget.map_population;
+  mopts.iterations = budget.map_iterations;
+  mopts.seed = budget.seed;
+  mopts.encoding.search_order = false;
+  mopts.encoding.fixed_dataflow = arch::native_dataflow(baseline);
+  mopts.seed_canonical = false;
+  search::ArchEvaluator evaluator(model, mopts);
+  return evaluator.evaluate(baseline, net);
+}
+
+/// Prints a section header in a uniform style.
+inline void print_header(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n\n");
+}
+
+/// Runs registered google-benchmark microbenchmarks after the table.
+inline int run_microbenchmarks(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace naas::bench

@@ -1,0 +1,76 @@
+// Figure 4: population-mean EDP versus hardware-search iteration, NAAS
+// (CMA-ES) versus random search. The paper shows NAAS's mean decreasing by
+// more than an order of magnitude while random search stays flat.
+//
+// Scenario: MobileNetV2 under the Eyeriss resource envelope (a
+// representative small-model deployment).
+
+#include "bench_common.hpp"
+#include "search/random_search.hpp"
+
+namespace {
+
+using namespace naas;
+
+void reproduce_fig4(const bench::Budget& budget) {
+  bench::print_header(
+      "Fig. 4: normalized population-mean EDP vs search iteration");
+
+  const cost::CostModel model;
+  const std::vector<nn::Network> nets{nn::make_mobilenet_v2()};
+
+  search::NaasOptions opts = budget.naas_options(arch::eyeriss_resources());
+  opts.iterations = std::max(opts.iterations, 15);  // the figure's x-axis
+
+  const auto naas = search::run_naas(model, opts, nets);
+  const auto rand = search::run_random_search(model, opts, nets);
+
+  // Normalize both series by the random-search first-iteration mean, as the
+  // figure normalizes to the initial population.
+  const double norm = rand.population_mean_edp.empty()
+                          ? 1.0
+                          : rand.population_mean_edp.front();
+  core::Table t({"Iteration", "NAAS mean EDP", "Random mean EDP",
+                 "NAAS best EDP"});
+  for (std::size_t i = 0; i < naas.population_mean_edp.size(); ++i) {
+    const double r = i < rand.population_mean_edp.size()
+                         ? rand.population_mean_edp[i] / norm
+                         : 0.0;
+    t.add_row({std::to_string(i + 1),
+               core::Table::fmt(naas.population_mean_edp[i] / norm, 3),
+               core::Table::fmt(r, 3),
+               core::Table::fmt(naas.population_best_edp[i] / norm, 3)});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+
+  const double naas_drop = naas.population_mean_edp.front() /
+                           naas.population_mean_edp.back();
+  const double rand_drop = rand.population_mean_edp.front() /
+                           rand.population_mean_edp.back();
+  std::printf("NAAS mean improves %.1fx across iterations; random search "
+              "%.1fx (paper: NAAS decreases steadily, random stays high)\n",
+              naas_drop, rand_drop);
+}
+
+void BM_NaasIteration(benchmark::State& state) {
+  const cost::CostModel model;
+  const std::vector<nn::Network> nets{nn::make_cifar_net()};
+  for (auto _ : state) {
+    search::NaasOptions opts;
+    opts.resources = arch::eyeriss_resources();
+    opts.population = 6;
+    opts.iterations = 1;
+    opts.mapping.population = 6;
+    opts.mapping.iterations = 3;
+    const auto res = search::run_naas(model, opts, nets);
+    benchmark::DoNotOptimize(res.best_geomean_edp);
+  }
+}
+BENCHMARK(BM_NaasIteration)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  reproduce_fig4(naas::bench::Budget::from_env());
+  return naas::bench::run_microbenchmarks(argc, argv);
+}

@@ -1,0 +1,92 @@
+// Figure 5: speedup and energy saving of the NAAS-searched accelerator
+// versus the baseline, when one accelerator is searched per *benchmark set*
+// (geomean-EDP reward across the set):
+//   large nets  (VGG16, ResNet50, UNet)            vs EdgeTPU, NVDLA-1024
+//   small nets  (MobileNetV2, SqueezeNet, MNasNet) vs Eyeriss, NVDLA-256,
+//                                                     ShiDianNao
+// Paper headline: 2.6x/2.2x speedup on large sets, 4.4x/1.7x/4.4x on small
+// sets, with 1.0-4.9x energy savings.
+
+#include "bench_common.hpp"
+
+#include "core/stats.hpp"
+
+namespace {
+
+using namespace naas;
+
+void run_set(const cost::CostModel& model, const bench::Budget& budget,
+             const std::vector<nn::Network>& nets,
+             const std::vector<arch::ResourceConstraint>& envelopes) {
+  for (const auto& rc : envelopes) {
+    const arch::ArchConfig baseline = arch::baseline_for(rc);
+    const auto res =
+        search::run_naas(model, budget.naas_options(rc), nets);
+    if (!std::isfinite(res.best_geomean_edp)) {
+      std::printf("%s: search failed to find a design\n", rc.name.c_str());
+      continue;
+    }
+
+    core::Table t({"Network", "Speedup", "Energy saving", "EDP reduction",
+                   "EDP red. vs tuned"});
+    std::vector<double> speedups, savings, tuned_reds;
+    for (std::size_t i = 0; i < nets.size(); ++i) {
+      const auto stock = bench::baseline_cost_stock(model, baseline, nets[i]);
+      const auto tuned =
+          bench::baseline_cost_tuned(model, baseline, nets[i], budget);
+      const auto& searched = res.best_networks[i];
+      const double speedup = stock.latency_cycles / searched.latency_cycles;
+      const double saving = stock.energy_nj / searched.energy_nj;
+      speedups.push_back(speedup);
+      savings.push_back(saving);
+      tuned_reds.push_back(tuned.edp / searched.edp);
+      t.add_row({nets[i].name(), core::Table::fmt(speedup, 2),
+                 core::Table::fmt(saving, 2),
+                 core::Table::fmt(stock.edp / searched.edp, 2),
+                 core::Table::fmt(tuned.edp / searched.edp, 2)});
+    }
+    t.add_row({"Geomean", core::Table::fmt(core::geomean(speedups), 2),
+               core::Table::fmt(core::geomean(savings), 2),
+               core::Table::fmt(core::geomean(speedups) *
+                                    core::geomean(savings),
+                                2),
+               core::Table::fmt(core::geomean(tuned_reds), 2)});
+    std::printf("--- %s resource envelope ---\n", rc.name.c_str());
+    std::printf("baseline: %s\n", baseline.to_string().c_str());
+    std::printf("searched: %s\n\n%s\n", res.best_arch.to_string().c_str(),
+                t.to_string().c_str());
+  }
+}
+
+void reproduce_fig5(const bench::Budget& budget) {
+  bench::print_header(
+      "Fig. 5: NAAS vs baselines, one accelerator per benchmark set");
+  const cost::CostModel model;
+
+  std::printf(">>> Large models (VGG16, ResNet50, UNet)\n\n");
+  run_set(model, budget, nn::large_benchmarks(),
+          {arch::edge_tpu_resources(), arch::nvdla_1024_resources()});
+
+  std::printf(">>> Light-weight models (MobileNetV2, SqueezeNet, MNasNet)\n\n");
+  run_set(model, budget, nn::small_benchmarks(),
+          {arch::eyeriss_resources(), arch::nvdla_256_resources(),
+           arch::shidiannao_resources()});
+}
+
+void BM_NetworkEvaluationCanonical(benchmark::State& state) {
+  const cost::CostModel model;
+  const auto arch = arch::nvdla_256_arch();
+  const nn::Network net = nn::make_mobilenet_v2();
+  for (auto _ : state) {
+    const auto nc = cost::evaluate_network_canonical(model, arch, net);
+    benchmark::DoNotOptimize(nc.edp);
+  }
+}
+BENCHMARK(BM_NetworkEvaluationCanonical)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  reproduce_fig5(naas::bench::Budget::from_env());
+  return naas::bench::run_microbenchmarks(argc, argv);
+}

@@ -1,0 +1,79 @@
+// Figure 6: speedup and energy saving when NAAS searches one accelerator
+// *per network* (instead of per benchmark set). Per-network specialization
+// should meet or beat the Fig. 5 shared designs.
+//
+// The paper sweeps all five envelopes x six networks; the default budget
+// here uses a reduced outer loop so the 30 searches stay bench-sized.
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace naas;
+
+void reproduce_fig6(bench::Budget budget) {
+  bench::print_header(
+      "Fig. 6: NAAS searched per single network, all envelopes");
+
+  // 30 searches: trim the outer budget unless NAAS_BENCH_FULL=1.
+  if (!core::env_flag("NAAS_BENCH_FULL", false)) {
+    budget.hw_population = 8;
+    budget.hw_iterations = 6;
+  }
+
+  const cost::CostModel model;
+  const auto nets = [] {
+    auto l = nn::large_benchmarks();
+    auto s = nn::small_benchmarks();
+    l.insert(l.end(), s.begin(), s.end());
+    return l;
+  }();
+
+  for (const auto& rc : arch::all_resource_envelopes()) {
+    const arch::ArchConfig baseline = arch::baseline_for(rc);
+    core::Table t({"Network", "Speedup", "Energy saving", "EDP reduction",
+                   "Searched design"});
+    for (const auto& net : nets) {
+      const auto res =
+          search::run_naas(model, budget.naas_options(rc), {net});
+      if (!std::isfinite(res.best_geomean_edp)) {
+        t.add_row({net.name(), "-", "-", "-", "search failed"});
+        continue;
+      }
+      const auto base = bench::baseline_cost_stock(model, baseline, net);
+      const auto& searched = res.best_networks.front();
+      t.add_row({net.name(),
+                 core::Table::fmt(base.latency_cycles /
+                                      searched.latency_cycles, 2),
+                 core::Table::fmt(base.energy_nj / searched.energy_nj, 2),
+                 core::Table::fmt(base.edp / searched.edp, 2),
+                 res.best_arch.to_string()});
+    }
+    std::printf("--- %s envelope (baseline %s) ---\n\n%s\n",
+                rc.name.c_str(), baseline.name.c_str(),
+                t.to_string().c_str());
+  }
+}
+
+void BM_SingleNetworkSearch(benchmark::State& state) {
+  const cost::CostModel model;
+  const std::vector<nn::Network> nets{nn::make_squeezenet()};
+  for (auto _ : state) {
+    search::NaasOptions opts;
+    opts.resources = arch::nvdla_256_resources();
+    opts.population = 6;
+    opts.iterations = 3;
+    opts.mapping.population = 6;
+    opts.mapping.iterations = 3;
+    const auto res = search::run_naas(model, opts, nets);
+    benchmark::DoNotOptimize(res.best_geomean_edp);
+  }
+}
+BENCHMARK(BM_SingleNetworkSearch)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  reproduce_fig6(naas::bench::Budget::from_env());
+  return naas::bench::run_microbenchmarks(argc, argv);
+}

@@ -1,0 +1,80 @@
+// Figure 7: the searched architectures themselves. The paper shows three
+// qualitative examples — different networks and envelopes yield different
+// array shapes, parallel dimensions, and buffer splits:
+//   (a) ResNet50 @ Eyeriss resources  -> 2D array, K-X' parallel
+//   (b) VGG16    @ EdgeTPU resources  -> 2D array, C-X' parallel, huge L2
+//   (c) VGG16    @ ShiDianNao resources -> 3D array, C-K-X' parallel
+// We rerun those three searches and print the designs plus their best
+// per-layer mapping for the dominant layer.
+
+#include "bench_common.hpp"
+
+#include "search/mapping_search.hpp"
+
+namespace {
+
+using namespace naas;
+
+void show_search(const cost::CostModel& model, const bench::Budget& budget,
+                 const nn::Network& net, const arch::ResourceConstraint& rc,
+                 const char* paper_result) {
+  const auto res = search::run_naas(model, budget.naas_options(rc), {net});
+  std::printf("--- %s @ %s resources ---\n", net.name().c_str(),
+              rc.name.c_str());
+  std::printf("paper found : %s\n", paper_result);
+  if (!std::isfinite(res.best_geomean_edp)) {
+    std::printf("search failed\n\n");
+    return;
+  }
+  std::printf("this repro  : %s\n", res.best_arch.to_string().c_str());
+
+  // Show the searched mapping for the network's largest layer.
+  const auto unique = net.unique_layers();
+  const nn::ConvLayer* biggest = &unique.front().first;
+  for (const auto& [layer, count] : unique)
+    if (layer.macs() > biggest->macs()) biggest = &layer;
+  search::MappingSearchOptions mopts;
+  mopts.population = budget.map_population;
+  mopts.iterations = budget.map_iterations;
+  mopts.seed = budget.seed;
+  const auto ms = search::search_mapping(model, res.best_arch, *biggest, mopts);
+  std::printf("dominant layer %s mapping:\n%s\n",
+              biggest->name.c_str(), ms.best.to_string().c_str());
+  std::printf("layer EDP %.3g, utilization %.2f\n\n", ms.best_edp,
+              ms.report.pe_utilization);
+}
+
+void reproduce_fig7(const bench::Budget& budget) {
+  bench::print_header("Fig. 7: searched architectures (qualitative)");
+  const cost::CostModel model;
+  show_search(model, budget, nn::make_resnet50(), arch::eyeriss_resources(),
+              "2D 18x10 array, K-X' parallel, L1 496B, L2 107KB");
+  show_search(model, budget, nn::make_vgg16(), arch::edge_tpu_resources(),
+              "2D 64x66 array, C-X' parallel, L1 256B, L2 7121KB");
+  show_search(model, budget, nn::make_vgg16(), arch::shidiannao_resources(),
+              "3D 4x6x6 array, C-K-X' parallel, L1 272B, L2 320KB");
+  std::printf(
+      "Expected shape: distinct parallel-dim choices per scenario, with\n"
+      "the small-envelope design trading array size against buffers.\n");
+}
+
+void BM_MappingSearchOneLayer(benchmark::State& state) {
+  const cost::CostModel model;
+  const auto arch = arch::eyeriss_arch();
+  const nn::ConvLayer layer = nn::make_conv("c", 128, 256, 3, 1, 28);
+  for (auto _ : state) {
+    search::MappingSearchOptions opts;
+    opts.population = 8;
+    opts.iterations = 5;
+    const auto res = search::search_mapping(model, arch, layer, opts);
+    benchmark::DoNotOptimize(res.best_edp);
+  }
+}
+BENCHMARK(BM_MappingSearchOneLayer)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  reproduce_fig7(naas::bench::Budget::from_env());
+  return naas::bench::run_microbenchmarks(argc, argv);
+}

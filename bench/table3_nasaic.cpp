@@ -1,0 +1,81 @@
+// Table III: NAAS (accelerator search only) versus NASAIC under the same
+// design constraints, on NASAIC's CIFAR-scale workload. Paper numbers:
+//   NASAIC: latency 3e5 cycles, energy 1e9 nJ, EDP 3e14
+//   NAAS:   latency 8e4 cycles, energy 2e9 nJ, EDP 2e14
+// Shape to reproduce: NAAS trades some energy for a large latency win and
+// a net EDP advantage (~1.9x). The accuracy column carries over from
+// NASAIC's published results (93.2% CIFAR-10 for the DLA-mapped net).
+
+#include "bench_common.hpp"
+
+#include "baselines/nasaic.hpp"
+
+namespace {
+
+using namespace naas;
+
+void reproduce_table3(const bench::Budget& budget) {
+  bench::print_header("Table III: NAAS (accelerator only) vs NASAIC");
+
+  const cost::CostModel model;
+  const nn::Network net = nn::make_cifar_net();
+
+  // NASAIC: heterogeneous DLA+Shi allocation search.
+  baselines::NasaicOptions nopts;
+  nopts.total_pes = 1024;
+  nopts.total_onchip_bytes = 1024LL * 1024;
+  nopts.total_noc_bandwidth = 64;
+  nopts.pe_step = 64;
+  const auto nasaic = baselines::run_nasaic(model, net, nopts);
+
+  // NAAS: one searched accelerator under the same total budget.
+  arch::ResourceConstraint rc;
+  rc.name = "NASAIC-budget";
+  rc.max_pes = nopts.total_pes;
+  rc.max_onchip_bytes = nopts.total_onchip_bytes;
+  rc.max_noc_bandwidth = nopts.total_noc_bandwidth;
+  rc.dram_bandwidth = nopts.dram_bandwidth;
+  const auto naas = search::run_naas(model, budget.naas_options(rc), {net});
+
+  core::Table t({"Approach", "Arch", "Cifar-10 acc.", "Latency (cycles)",
+                 "Energy (nJ)", "EDP (cycles*nJ)"});
+  t.add_row({"NASAIC", "DLA+Shi", "93.2 / 91.1",
+             core::Table::fmt_sci(nasaic.latency_cycles, 1),
+             core::Table::fmt_sci(nasaic.energy_nj, 1),
+             core::Table::fmt_sci(nasaic.edp, 1)});
+  if (std::isfinite(naas.best_geomean_edp)) {
+    const auto& nc = naas.best_networks[0];
+    t.add_row({"NAAS", "searched", "93.2",
+               core::Table::fmt_sci(nc.latency_cycles, 1),
+               core::Table::fmt_sci(nc.energy_nj, 1),
+               core::Table::fmt_sci(nc.edp, 1)});
+    std::printf("%s\n", t.to_string().c_str());
+    std::printf("NASAIC allocation: %s\n\n", nasaic.to_string().c_str());
+    std::printf("NAAS vs NASAIC: %.2fx latency, %.2fx energy, %.2fx EDP "
+                "(paper: 3.75x latency, 0.5x energy, 1.88x EDP)\n",
+                nasaic.latency_cycles / nc.latency_cycles,
+                nasaic.energy_nj / nc.energy_nj, nasaic.edp / nc.edp);
+  } else {
+    std::printf("%s\nNAAS search failed\n", t.to_string().c_str());
+  }
+}
+
+void BM_NasaicGrid(benchmark::State& state) {
+  const cost::CostModel model;
+  const nn::Network net = nn::make_cifar_net();
+  for (auto _ : state) {
+    baselines::NasaicOptions opts;
+    opts.total_pes = 512;
+    opts.pe_step = 128;
+    const auto res = baselines::run_nasaic(model, net, opts);
+    benchmark::DoNotOptimize(res.edp);
+  }
+}
+BENCHMARK(BM_NasaicGrid)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  reproduce_table3(naas::bench::Budget::from_env());
+  return naas::bench::run_microbenchmarks(argc, argv);
+}

@@ -1,0 +1,62 @@
+// Quickstart: search an accelerator + mapping for MobileNetV2 within the
+// Eyeriss resource envelope and compare against the Eyeriss baseline.
+//
+//   ./build/examples/quickstart [iterations]
+//
+// This walks the full public API surface in ~40 lines of user code:
+// model zoo -> resource envelope -> run_naas -> inspect the result.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "arch/presets.hpp"
+#include "cost/network_cost.hpp"
+#include "nn/model_zoo.hpp"
+#include "search/accelerator_search.hpp"
+
+int main(int argc, char** argv) {
+  using namespace naas;
+
+  const int iterations = argc > 1 ? std::atoi(argv[1]) : 10;
+
+  // 1. Pick a workload and a resource envelope (max #PEs, on-chip SRAM,
+  //    NoC bandwidth — Section III-A of the paper).
+  const nn::Network net = nn::make_mobilenet_v2();
+  const arch::ResourceConstraint budget = arch::eyeriss_resources();
+  std::printf("workload : %s (%lld MMACs)\n", net.name().c_str(),
+              net.total_macs() / 1000000);
+  std::printf("envelope : %s\n\n", budget.to_string().c_str());
+
+  // 2. Evaluate the human-designed baseline (Eyeriss, row-stationary).
+  const cost::CostModel model;
+  const arch::ArchConfig eyeriss = arch::eyeriss_arch();
+  const cost::NetworkCost baseline =
+      cost::evaluate_network_canonical(model, eyeriss, net);
+  std::printf("baseline : %s\n", eyeriss.to_string().c_str());
+  std::printf("           latency %.3g cycles, energy %.3g nJ, EDP %.3g\n\n",
+              baseline.latency_cycles, baseline.energy_nj, baseline.edp);
+
+  // 3. Run NAAS: outer evolution over the accelerator design space, inner
+  //    evolution over per-layer mappings.
+  search::NaasOptions opts;
+  opts.resources = budget;
+  opts.population = 12;
+  opts.iterations = iterations;
+  opts.mapping.population = 10;
+  opts.mapping.iterations = 6;
+  opts.seed = 1;
+  const search::NaasResult result = search::run_naas(model, opts, {net});
+
+  // 4. Inspect the matched design.
+  std::printf("searched : %s\n", result.best_arch.to_string().c_str());
+  const auto& cost = result.best_networks.front();
+  std::printf("           latency %.3g cycles, energy %.3g nJ, EDP %.3g\n",
+              cost.latency_cycles, cost.energy_nj, cost.edp);
+  std::printf("\nspeedup %.2fx   energy saving %.2fx   EDP reduction %.2fx\n",
+              baseline.latency_cycles / cost.latency_cycles,
+              baseline.energy_nj / cost.energy_nj, baseline.edp / cost.edp);
+  std::printf("search cost: %lld cost-model evals in %.1fs\n",
+              result.cost_evaluations, result.wall_seconds);
+  return 0;
+}

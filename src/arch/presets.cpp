@@ -1,0 +1,99 @@
+#include "arch/presets.hpp"
+
+#include <stdexcept>
+
+namespace naas::arch {
+
+const char* dataflow_name(Dataflow df) {
+  switch (df) {
+    case Dataflow::kWeightStationary: return "weight-stationary";
+    case Dataflow::kOutputStationary: return "output-stationary";
+    case Dataflow::kRowStationary: return "row-stationary";
+  }
+  return "?";
+}
+
+Dataflow native_dataflow(const ArchConfig& cfg) {
+  const bool has_r = cfg.is_parallel(nn::Dim::kR);
+  const bool has_c = cfg.is_parallel(nn::Dim::kC);
+  const bool has_k = cfg.is_parallel(nn::Dim::kK);
+  if (has_r) return Dataflow::kRowStationary;
+  if (has_c && has_k) return Dataflow::kWeightStationary;
+  return Dataflow::kOutputStationary;
+}
+
+ArchConfig edge_tpu_arch() {
+  ArchConfig cfg;
+  cfg.name = "EdgeTPU";
+  cfg.num_array_dims = 2;
+  cfg.array_dims = {64, 64, 1};
+  cfg.parallel_dims = {nn::Dim::kC, nn::Dim::kK, nn::Dim::kXp};
+  cfg.l1_bytes = 512;
+  cfg.l2_bytes = 6LL * 1024 * 1024;  // + 4096 x 512B L1 = 8 MiB total
+  cfg.noc_bandwidth = 256;
+  cfg.dram_bandwidth = 64;
+  return cfg;
+}
+
+ArchConfig nvdla_1024_arch() {
+  ArchConfig cfg;
+  cfg.name = "NVDLA-1024";
+  cfg.num_array_dims = 2;
+  cfg.array_dims = {32, 32, 1};
+  cfg.parallel_dims = {nn::Dim::kC, nn::Dim::kK, nn::Dim::kXp};
+  cfg.l1_bytes = 256;
+  cfg.l2_bytes = 768LL * 1024;  // + 1024 x 256B = 1 MiB total
+  cfg.noc_bandwidth = 128;
+  cfg.dram_bandwidth = 32;
+  return cfg;
+}
+
+ArchConfig nvdla_256_arch() {
+  ArchConfig cfg;
+  cfg.name = "NVDLA-256";
+  cfg.num_array_dims = 2;
+  cfg.array_dims = {16, 16, 1};
+  cfg.parallel_dims = {nn::Dim::kC, nn::Dim::kK, nn::Dim::kXp};
+  cfg.l1_bytes = 256;
+  cfg.l2_bytes = 448LL * 1024;  // + 256 x 256B = 512 KiB total
+  cfg.noc_bandwidth = 64;
+  cfg.dram_bandwidth = 16;
+  return cfg;
+}
+
+ArchConfig eyeriss_arch() {
+  ArchConfig cfg;
+  cfg.name = "Eyeriss";
+  cfg.num_array_dims = 2;
+  cfg.array_dims = {12, 14, 1};
+  cfg.parallel_dims = {nn::Dim::kR, nn::Dim::kYp, nn::Dim::kXp};
+  cfg.l1_bytes = 512;                // 0.5 KB RF per PE
+  cfg.l2_bytes = 108LL * 1024;       // 108 KB global buffer
+  cfg.noc_bandwidth = 32;
+  cfg.dram_bandwidth = 16;
+  return cfg;
+}
+
+ArchConfig shidiannao_arch() {
+  ArchConfig cfg;
+  cfg.name = "ShiDianNao";
+  cfg.num_array_dims = 2;
+  cfg.array_dims = {8, 8, 1};
+  cfg.parallel_dims = {nn::Dim::kXp, nn::Dim::kYp, nn::Dim::kC};
+  cfg.l1_bytes = 256;
+  cfg.l2_bytes = 272LL * 1024;  // + 64 x 256B = 288 KiB total
+  cfg.noc_bandwidth = 32;
+  cfg.dram_bandwidth = 16;
+  return cfg;
+}
+
+ArchConfig baseline_for(const ResourceConstraint& rc) {
+  if (rc.name == "EdgeTPU") return edge_tpu_arch();
+  if (rc.name == "NVDLA-1024") return nvdla_1024_arch();
+  if (rc.name == "NVDLA-256") return nvdla_256_arch();
+  if (rc.name == "Eyeriss") return eyeriss_arch();
+  if (rc.name == "ShiDianNao") return shidiannao_arch();
+  throw std::invalid_argument("no baseline preset for envelope: " + rc.name);
+}
+
+}  // namespace naas::arch

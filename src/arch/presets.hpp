@@ -1,0 +1,41 @@
+#pragma once
+
+#include <vector>
+
+#include "arch/accelerator.hpp"
+#include "arch/resources.hpp"
+
+namespace naas::arch {
+
+/// Canonical dataflow families used for baseline accelerators and for
+/// fixed-order ablations (Fig. 8's "architectural sizing only").
+enum class Dataflow {
+  kWeightStationary,   ///< NVDLA/EdgeTPU style: C x K parallel, X'/Y' stream
+  kOutputStationary,   ///< ShiDianNao style: X' x Y' parallel, C/R/S inner
+  kRowStationary,      ///< Eyeriss style: R x Y' parallel
+};
+
+/// Name of a dataflow family ("weight-stationary", ...).
+const char* dataflow_name(Dataflow df);
+
+/// Native dataflow of a baseline accelerator preset.
+Dataflow native_dataflow(const ArchConfig& cfg);
+
+/// Baseline accelerator design points (the silicon the paper compares
+/// against), expressed in our ArchConfig form with their native parallel
+/// dimension bindings:
+///   EdgeTPU   64x64 systolic, C x K (weight stationary), 8 MiB on-chip
+///   NVDLA     32x32 (1024 MACs) or 16x16 (256), C x K, weight stationary
+///   Eyeriss   12x14, R x Y' (row stationary)
+///   ShiDianNao 8x8, X' x Y' (output stationary)
+ArchConfig edge_tpu_arch();
+ArchConfig nvdla_1024_arch();
+ArchConfig nvdla_256_arch();
+ArchConfig eyeriss_arch();
+ArchConfig shidiannao_arch();
+
+/// Baseline arch for an envelope name; throws std::invalid_argument if the
+/// name is not one of the five presets.
+ArchConfig baseline_for(const ResourceConstraint& rc);
+
+}  // namespace naas::arch

@@ -1,0 +1,49 @@
+#include "arch/resources.hpp"
+
+#include <sstream>
+
+namespace naas::arch {
+
+bool ResourceConstraint::allows(const ArchConfig& cfg) const {
+  return cfg.valid() && cfg.num_pes() <= max_pes &&
+         cfg.onchip_bytes() <= max_onchip_bytes &&
+         cfg.noc_bandwidth <= max_noc_bandwidth;
+}
+
+std::string ResourceConstraint::to_string() const {
+  std::ostringstream os;
+  os << name << ": <=" << max_pes << " PEs, <="
+     << max_onchip_bytes / 1024 << "KB on-chip, noc<=" << max_noc_bandwidth
+     << ", dram " << dram_bandwidth;
+  return os.str();
+}
+
+ResourceConstraint edge_tpu_resources() {
+  return {"EdgeTPU", 4096, 8LL * 1024 * 1024, 256, 64};
+}
+
+ResourceConstraint nvdla_1024_resources() {
+  return {"NVDLA-1024", 1024, 1024LL * 1024, 128, 32};
+}
+
+ResourceConstraint nvdla_256_resources() {
+  return {"NVDLA-256", 256, 512LL * 1024, 64, 16};
+}
+
+ResourceConstraint eyeriss_resources() {
+  // 108 KB global buffer + 168 x 0.5 KB register files.
+  return {"Eyeriss", 168, 192LL * 1024, 32, 16};
+}
+
+ResourceConstraint shidiannao_resources() {
+  // 288 KB total SRAM (NBin/NBout/SB). max_pes is 144 rather than the native
+  // 64 to admit the 4x6x6 3D array the paper reports in Fig. 7c.
+  return {"ShiDianNao", 144, 288LL * 1024, 32, 16};
+}
+
+std::vector<ResourceConstraint> all_resource_envelopes() {
+  return {edge_tpu_resources(), nvdla_1024_resources(), nvdla_256_resources(),
+          eyeriss_resources(), shidiannao_resources()};
+}
+
+}  // namespace naas::arch

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/accelerator.hpp"
+
+namespace naas::arch {
+
+/// A deployment scenario's resource envelope (Section III-A-a): NAAS is
+/// constrained to at most this many PEs, this much total on-chip SRAM, and
+/// this much NoC bandwidth; DRAM bandwidth is a property of the scenario.
+struct ResourceConstraint {
+  std::string name;
+  int max_pes = 256;
+  long long max_onchip_bytes = 512 * 1024;
+  int max_noc_bandwidth = 64;
+  int dram_bandwidth = 16;
+
+  /// True if `cfg` fits the envelope (and is structurally valid).
+  bool allows(const ArchConfig& cfg) const;
+
+  /// One-line summary.
+  std::string to_string() const;
+};
+
+/// Search granularity from the paper: "#PEs at stride of 8, buffer sizes at
+/// stride of 16B, array sizes at stride of 2".
+inline constexpr int kPeStride = 8;
+inline constexpr int kBufferStride = 16;
+inline constexpr int kArrayDimStride = 2;
+
+/// The five deployment envelopes used in the evaluation. Values follow the
+/// published configurations (DESIGN.md §5 documents each choice and the
+/// deliberate ShiDianNao deviation admitting Fig. 7c's 144-PE 3D array).
+ResourceConstraint edge_tpu_resources();
+ResourceConstraint nvdla_1024_resources();
+ResourceConstraint nvdla_256_resources();
+ResourceConstraint eyeriss_resources();
+ResourceConstraint shidiannao_resources();
+
+/// All five envelopes in the paper's order.
+std::vector<ResourceConstraint> all_resource_envelopes();
+
+}  // namespace naas::arch

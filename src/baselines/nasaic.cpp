@@ -1,0 +1,117 @@
+#include "baselines/nasaic.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "arch/presets.hpp"
+#include "mapping/canonical.hpp"
+
+namespace naas::baselines {
+namespace {
+
+/// Builds a DLA-style (C x K weight-stationary) IP with `pes` PEs.
+arch::ArchConfig make_dla_ip(int pes, long long onchip, int bandwidth,
+                             int dram_bw) {
+  arch::ArchConfig cfg;
+  cfg.name = "NASAIC-DLA";
+  cfg.num_array_dims = 2;
+  const int rows = std::max(2, static_cast<int>(std::sqrt(pes)) / 2 * 2);
+  cfg.array_dims = {rows, std::max(2, pes / rows / 2 * 2), 1};
+  cfg.parallel_dims = {nn::Dim::kC, nn::Dim::kK, nn::Dim::kXp};
+  cfg.l1_bytes = 256;
+  cfg.l2_bytes = std::max<long long>(16 * 1024,
+                                     onchip - cfg.l1_bytes * cfg.num_pes());
+  cfg.noc_bandwidth = std::max(8, bandwidth);
+  cfg.dram_bandwidth = dram_bw;
+  return cfg;
+}
+
+/// Builds a ShiDianNao-style (X' x Y' output-stationary) IP.
+arch::ArchConfig make_shi_ip(int pes, long long onchip, int bandwidth,
+                             int dram_bw) {
+  arch::ArchConfig cfg;
+  cfg.name = "NASAIC-Shi";
+  cfg.num_array_dims = 2;
+  const int rows = std::max(2, static_cast<int>(std::sqrt(pes)) / 2 * 2);
+  cfg.array_dims = {rows, std::max(2, pes / rows / 2 * 2), 1};
+  cfg.parallel_dims = {nn::Dim::kXp, nn::Dim::kYp, nn::Dim::kC};
+  cfg.l1_bytes = 256;
+  cfg.l2_bytes = std::max<long long>(16 * 1024,
+                                     onchip - cfg.l1_bytes * cfg.num_pes());
+  cfg.noc_bandwidth = std::max(8, bandwidth);
+  cfg.dram_bandwidth = dram_bw;
+  return cfg;
+}
+
+}  // namespace
+
+std::string NasaicResult::to_string() const {
+  char buf[200];
+  std::snprintf(buf, sizeof buf,
+                "DLA %d PEs (bw %d) + Shi %d PEs (bw %d): latency %.3g cyc, "
+                "energy %.3g nJ, EDP %.3g (%d/%d layers on DLA/Shi)",
+                dla_pes, dla_bandwidth, shi_pes, shi_bandwidth,
+                latency_cycles, energy_nj, edp, layers_on_dla, layers_on_shi);
+  return buf;
+}
+
+NasaicResult run_nasaic(const cost::CostModel& model, const nn::Network& net,
+                        const NasaicOptions& options) {
+  NasaicResult best;
+  best.edp = std::numeric_limits<double>::infinity();
+
+  const auto unique = net.unique_layers();
+  for (int dla_pes = options.pe_step; dla_pes < options.total_pes;
+       dla_pes += options.pe_step) {
+    const int shi_pes = options.total_pes - dla_pes;
+    // On-chip SRAM split proportionally to PE share; bandwidth split swept.
+    const long long dla_onchip =
+        options.total_onchip_bytes * dla_pes / options.total_pes;
+    const long long shi_onchip = options.total_onchip_bytes - dla_onchip;
+    for (int dla_bw_share = 1; dla_bw_share <= 3; ++dla_bw_share) {
+      const int dla_bw = options.total_noc_bandwidth * dla_bw_share / 4;
+      const int shi_bw = options.total_noc_bandwidth - dla_bw;
+      const arch::ArchConfig dla = make_dla_ip(
+          dla_pes, dla_onchip, dla_bw, options.dram_bandwidth);
+      const arch::ArchConfig shi = make_shi_ip(
+          shi_pes, shi_onchip, shi_bw, options.dram_bandwidth);
+
+      double latency = 0, energy = 0;
+      int on_dla = 0, on_shi = 0;
+      bool ok = true;
+      for (const auto& [layer, count] : unique) {
+        const auto rep_dla =
+            model.evaluate(dla, layer, mapping::canonical_mapping(dla, layer));
+        const auto rep_shi =
+            model.evaluate(shi, layer, mapping::canonical_mapping(shi, layer));
+        if (!rep_dla.legal && !rep_shi.legal) {
+          ok = false;
+          break;
+        }
+        const bool pick_dla =
+            rep_dla.legal && (!rep_shi.legal || rep_dla.edp <= rep_shi.edp);
+        const auto& rep = pick_dla ? rep_dla : rep_shi;
+        (pick_dla ? on_dla : on_shi) += count;
+        latency += rep.latency_cycles * count;
+        energy += rep.energy_nj * count;
+      }
+      if (!ok) continue;
+      const double edp = latency * energy;
+      if (edp < best.edp) {
+        best.edp = edp;
+        best.latency_cycles = latency;
+        best.energy_nj = energy;
+        best.dla_pes = dla_pes;
+        best.shi_pes = shi_pes;
+        best.dla_bandwidth = dla_bw;
+        best.shi_bandwidth = shi_bw;
+        best.layers_on_dla = on_dla;
+        best.layers_on_shi = on_shi;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace naas::baselines

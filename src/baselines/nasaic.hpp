@@ -1,0 +1,45 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cost/network_cost.hpp"
+#include "nn/network.hpp"
+
+namespace naas::baselines {
+
+/// NASAIC (Yang et al. [11]) baseline: a *heterogeneous* accelerator built
+/// from two fixed-dataflow IPs — a DLA-style weight-stationary core and a
+/// ShiDianNao-style output-stationary core — where the search space is only
+/// the allocation of #PEs and NoC bandwidth between the IPs (the paper
+/// notes ~1e4 hardware candidates versus NAAS's >1e11). Each layer of the
+/// workload executes on whichever IP yields lower EDP contribution; IPs run
+/// layers sequentially (single-network inference).
+struct NasaicOptions {
+  int total_pes = 1024;                ///< PE budget across both IPs
+  long long total_onchip_bytes = 1024LL * 1024;
+  int total_noc_bandwidth = 64;
+  int dram_bandwidth = 16;
+  int pe_step = 64;                    ///< allocation granularity
+};
+
+/// One allocation choice and its cost.
+struct NasaicResult {
+  int dla_pes = 0;
+  int shi_pes = 0;
+  int dla_bandwidth = 0;
+  int shi_bandwidth = 0;
+  double latency_cycles = 0;
+  double energy_nj = 0;
+  double edp = 0;
+  int layers_on_dla = 0;
+  int layers_on_shi = 0;
+  std::string to_string() const;
+};
+
+/// Exhaustively searches the NASAIC allocation grid for `net` and returns
+/// the best (lowest-EDP) heterogeneous configuration.
+NasaicResult run_nasaic(const cost::CostModel& model, const nn::Network& net,
+                        const NasaicOptions& options);
+
+}  // namespace naas::baselines

@@ -1,0 +1,31 @@
+#include "baselines/nhas.hpp"
+
+#include <stdexcept>
+
+namespace naas::baselines {
+
+nas::CoSearchResult run_nhas(const cost::CostModel& model,
+                             nas::CoSearchOptions options) {
+  options.search_connectivity = false;
+  options.mapping.encoding.search_order = false;
+  // NHAS sizes the *given* accelerator design: both its connectivity (see
+  // make_hw_spec) and its loop-order family stay native to the envelope's
+  // baseline (row-stationary on Eyeriss resources, weight-stationary on
+  // NVDLA/EdgeTPU).
+  try {
+    options.mapping.encoding.fixed_dataflow =
+        arch::native_dataflow(arch::baseline_for(options.resources));
+  } catch (const std::invalid_argument&) {
+    options.mapping.encoding.fixed_dataflow =
+        arch::Dataflow::kWeightStationary;
+  }
+  // Seeding would race all three canonical dataflows, leaking loop-order
+  // freedom NHAS does not have; its tiling search runs unseeded.
+  options.mapping.seed_canonical = false;
+  // NHAS's neural space is per-layer channels + quantization on the fixed
+  // ResNet topology — model it as width/expand choices only.
+  options.subnet.width_and_expand_only = true;
+  return nas::run_cosearch(model, options);
+}
+
+}  // namespace naas::baselines

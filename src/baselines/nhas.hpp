@@ -1,0 +1,19 @@
+#pragma once
+
+#include "nas/nas_search.hpp"
+
+namespace naas::baselines {
+
+/// Neural-Hardware Architecture Search (Lin et al., NeurIPS WS'19 [12])
+/// re-implemented as a *search-space restriction* of our co-search:
+///  - accelerator level searches architectural sizing only (#PEs as a
+///    square-ish fixed-connectivity C x K array, buffer sizes, bandwidth);
+///  - the compiler level searches tiling only, with the loop order pinned
+///    to the canonical weight-stationary dataflow;
+///  - the neural level searches the same OFA-ResNet50 space.
+/// This reproduces the mechanism behind Fig. 10's NHAS point: NHAS gets
+/// NN + sizing gains but none of NAAS's connectivity / loop-order gains.
+nas::CoSearchResult run_nhas(const cost::CostModel& model,
+                             nas::CoSearchOptions options);
+
+}  // namespace naas::baselines

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <string>
+
+namespace naas::core {
+
+/// Log severities, in increasing order of importance.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the global minimum level that will be emitted. Default is kWarn so
+/// that library code is silent in tests/benches unless asked; the
+/// NAAS_LOG_LEVEL environment variable (debug|info|warn|error) overrides
+/// this at first use.
+void set_log_level(LogLevel level);
+
+/// Current global minimum level.
+LogLevel log_level();
+
+/// Writes one line to stderr if `level` passes the global threshold.
+void log(LogLevel level, const std::string& message);
+
+/// Convenience wrappers.
+void log_debug(const std::string& message);
+void log_info(const std::string& message);
+void log_warn(const std::string& message);
+void log_error(const std::string& message);
+
+}  // namespace naas::core

@@ -1,0 +1,129 @@
+#include "core/matrix.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace naas::core {
+
+Matrix::Matrix(int rows, int cols, double fill)
+    : rows_(rows),
+      cols_(cols),
+      data_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols),
+            fill) {
+  assert(rows >= 0 && cols >= 0);
+}
+
+Matrix Matrix::identity(int n) {
+  Matrix m(n, n, 0.0);
+  for (int i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+double& Matrix::operator()(int r, int c) {
+  assert(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+  return data_[static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_) +
+               static_cast<std::size_t>(c)];
+}
+
+double Matrix::operator()(int r, int c) const {
+  assert(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+  return data_[static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_) +
+               static_cast<std::size_t>(c)];
+}
+
+std::vector<double> Matrix::matvec(const std::vector<double>& v) const {
+  assert(static_cast<int>(v.size()) == cols_);
+  std::vector<double> out(static_cast<std::size_t>(rows_), 0.0);
+  for (int r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (int c = 0; c < cols_; ++c) acc += (*this)(r, c) * v[static_cast<std::size_t>(c)];
+    out[static_cast<std::size_t>(r)] = acc;
+  }
+  return out;
+}
+
+void Matrix::add_outer(const std::vector<double>& u, double scale) {
+  assert(rows_ == cols_ && static_cast<int>(u.size()) == rows_);
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = 0; c < cols_; ++c) {
+      (*this)(r, c) += scale * u[static_cast<std::size_t>(r)] *
+                       u[static_cast<std::size_t>(c)];
+    }
+  }
+}
+
+void Matrix::scale(double s) {
+  for (auto& x : data_) x *= s;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (int r = 0; r < rows_; ++r)
+    for (int c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+Matrix Matrix::multiply(const Matrix& other) const {
+  assert(cols_ == other.rows_);
+  Matrix out(rows_, other.cols_, 0.0);
+  for (int r = 0; r < rows_; ++r) {
+    for (int k = 0; k < cols_; ++k) {
+      const double a = (*this)(r, k);
+      if (a == 0.0) continue;
+      for (int c = 0; c < other.cols_; ++c) out(r, c) += a * other(k, c);
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::cholesky() const {
+  assert(rows_ == cols_);
+  const int n = rows_;
+  double jitter = 0.0;
+  // Scale-aware jitter base: proportional to the largest diagonal entry.
+  double diag_max = 1e-12;
+  for (int i = 0; i < n; ++i) diag_max = std::max(diag_max, std::abs((*this)(i, i)));
+
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    Matrix l(n, n, 0.0);
+    bool ok = true;
+    for (int r = 0; r < n && ok; ++r) {
+      for (int c = 0; c <= r; ++c) {
+        double sum = (*this)(r, c) + (r == c ? jitter : 0.0);
+        for (int k = 0; k < c; ++k) sum -= l(r, k) * l(c, k);
+        if (r == c) {
+          if (sum <= 0.0) {
+            ok = false;
+            break;
+          }
+          l(r, r) = std::sqrt(sum);
+        } else {
+          l(r, c) = sum / l(c, c);
+        }
+      }
+    }
+    if (ok) return l;
+    jitter = (jitter == 0.0) ? diag_max * 1e-10 : jitter * 10.0;
+  }
+  throw std::runtime_error("Matrix::cholesky: matrix is too far from PD");
+}
+
+void Matrix::symmetrize() {
+  assert(rows_ == cols_);
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = r + 1; c < cols_; ++c) {
+      const double avg = 0.5 * ((*this)(r, c) + (*this)(c, r));
+      (*this)(r, c) = avg;
+      (*this)(c, r) = avg;
+    }
+  }
+}
+
+double Matrix::max_abs() const {
+  double m = 0.0;
+  for (const auto& x : data_) m = std::max(m, std::abs(x));
+  return m;
+}
+
+}  // namespace naas::core

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace naas::core {
+
+/// Small dense row-major matrix of doubles.
+///
+/// Sized for optimizer internals (CMA-ES covariance matrices of a few dozen
+/// dimensions), not for large numerical workloads: all operations are simple
+/// O(n^2)/O(n^3) loops with no blocking. Indices are checked in debug builds
+/// via assert.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// Creates a rows x cols matrix filled with `fill`.
+  Matrix(int rows, int cols, double fill = 0.0);
+
+  /// Identity matrix of size n x n.
+  static Matrix identity(int n);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+  double& operator()(int r, int c);
+  double operator()(int r, int c) const;
+
+  /// Matrix-vector product. Requires v.size() == cols().
+  std::vector<double> matvec(const std::vector<double>& v) const;
+
+  /// Adds `scale * u * u^T` to this matrix (rank-one symmetric update).
+  /// Requires square matrix with rows() == u.size().
+  void add_outer(const std::vector<double>& u, double scale);
+
+  /// Scales every entry by `s`.
+  void scale(double s);
+
+  /// Returns the transpose.
+  Matrix transposed() const;
+
+  /// Matrix product this * other.
+  Matrix multiply(const Matrix& other) const;
+
+  /// Cholesky factorization of a symmetric positive-definite matrix:
+  /// returns lower-triangular L with L * L^T == *this. If the matrix is not
+  /// positive definite, a small diagonal jitter is added (repeatedly, up to a
+  /// cap) until the factorization succeeds; this keeps optimizers running in
+  /// the face of numerically degenerate covariance estimates.
+  Matrix cholesky() const;
+
+  /// Enforces exact symmetry by averaging with the transpose.
+  void symmetrize();
+
+  /// Maximum absolute entry (0 for an empty matrix).
+  double max_abs() const;
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace naas::core

@@ -1,0 +1,62 @@
+#include "core/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace naas::core {
+
+double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  return std::accumulate(xs.begin(), xs.end(), 0.0) /
+         static_cast<double>(xs.size());
+}
+
+double stddev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (const double x : xs) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(xs.size() - 1));
+}
+
+double geomean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (const double x : xs) log_sum += std::log(std::max(x, 1e-300));
+  return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+double median(std::vector<double> xs) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const std::size_t n = xs.size();
+  if (n % 2 == 1) return xs[n / 2];
+  return 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
+}
+
+int argmin(const std::vector<double>& xs) {
+  if (xs.empty()) return -1;
+  return static_cast<int>(
+      std::min_element(xs.begin(), xs.end()) - xs.begin());
+}
+
+int argmax(const std::vector<double>& xs) {
+  if (xs.empty()) return -1;
+  return static_cast<int>(
+      std::max_element(xs.begin(), xs.end()) - xs.begin());
+}
+
+std::vector<int> ranks_ascending(const std::vector<double>& xs) {
+  std::vector<int> order(xs.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return xs[static_cast<std::size_t>(a)] < xs[static_cast<std::size_t>(b)];
+  });
+  std::vector<int> rank(xs.size());
+  for (std::size_t pos = 0; pos < order.size(); ++pos)
+    rank[static_cast<std::size_t>(order[pos])] = static_cast<int>(pos);
+  return rank;
+}
+
+}  // namespace naas::core

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <vector>
+
+namespace naas::core {
+
+/// Arithmetic mean; returns 0 for an empty input.
+double mean(const std::vector<double>& xs);
+
+/// Sample standard deviation (n-1 denominator); 0 for fewer than 2 samples.
+double stddev(const std::vector<double>& xs);
+
+/// Geometric mean of strictly positive values; returns 0 if the input is
+/// empty. Values <= 0 are clamped to a tiny positive epsilon so a single
+/// degenerate sample cannot poison a whole reward aggregation.
+double geomean(const std::vector<double>& xs);
+
+/// Median (average of the two middle elements for even sizes); 0 if empty.
+double median(std::vector<double> xs);
+
+/// Index of the minimum element; -1 if empty. Ties resolve to the first.
+int argmin(const std::vector<double>& xs);
+
+/// Index of the maximum element; -1 if empty. Ties resolve to the first.
+int argmax(const std::vector<double>& xs);
+
+/// Ranks of each element in ascending order: result[i] is the rank (0-based)
+/// of xs[i]. Ties are broken by index for determinism.
+std::vector<int> ranks_ascending(const std::vector<double>& xs);
+
+}  // namespace naas::core

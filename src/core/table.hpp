@@ -1,0 +1,47 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace naas::core {
+
+/// Aligned ASCII table writer used by the benchmark harness to print the
+/// paper's tables/figure data, with CSV export for post-processing.
+///
+/// Usage:
+///   Table t({"Network", "Speedup", "Energy Saving"});
+///   t.add_row({"VGG16", Table::fmt(2.6, 2), Table::fmt(1.1, 2)});
+///   std::cout << t.to_string();
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; missing trailing cells render empty, extra cells are
+  /// kept (the table widens to the longest row).
+  void add_row(std::vector<std::string> cells);
+
+  /// Formats a double with fixed `digits` decimals (locale-independent).
+  static std::string fmt(double value, int digits = 2);
+
+  /// Formats a double in scientific notation with `digits` significant
+  /// decimals, e.g. 3.0e+14.
+  static std::string fmt_sci(double value, int digits = 1);
+
+  /// Formats an integer with thousands separators ("1,234,567").
+  static std::string fmt_int(long long value);
+
+  /// Renders the aligned ASCII table (with a header separator line).
+  std::string to_string() const;
+
+  /// Renders RFC-4180-ish CSV (quotes cells containing commas/quotes).
+  std::string to_csv() const;
+
+  int num_rows() const { return static_cast<int>(rows_.size()); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace naas::core

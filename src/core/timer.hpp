@@ -1,0 +1,25 @@
+#pragma once
+
+#include <chrono>
+
+namespace naas::core {
+
+/// Simple monotonic wall-clock timer for search-cost accounting.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  /// Resets the start point to now.
+  void restart() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last restart().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace naas::core

@@ -1,0 +1,262 @@
+#include "cost/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "cost/reuse.hpp"
+#include "mapping/footprint.hpp"
+#include "mapping/legality.hpp"
+
+namespace naas::cost {
+namespace {
+
+using mapping::TileSizes;
+using mapping::tile_of;
+
+long long ceil_div(long long a, long long b) { return (a + b - 1) / b; }
+
+/// Everything the traffic formulas need about one array axis.
+struct AxisInfo {
+  nn::Dim dim = nn::Dim::kK;  ///< dimension this axis parallelizes
+  int size = 1;               ///< physical PEs along the axis
+  int used = 1;               ///< active PEs along the axis for this tile
+};
+
+/// Spatial traffic multiplier for the *input* tensor along one axis.
+/// Unlike weights/outputs, input slices of neighboring PEs overlap when the
+/// axis parallelizes a spatial dimension (sliding-window halo), and real
+/// multicast NoCs (Eyeriss's diagonal delivery) exploit that overlap. The
+/// multiplier is the ratio of the union extent to the per-PE extent,
+/// clamped to [1, used].
+double input_axis_multiplier(const nn::ConvLayer& layer, const TileSizes& t2,
+                             const TileSizes& share, const AxisInfo& axis) {
+  const bool dw = layer.kind == nn::LayerKind::kDepthwiseConv;
+  const double used = axis.used;
+  // Distinct input rows read for `out` outputs with `kr` kernel rows in the
+  // tile (see footprint.cpp: span capped when stride exceeds kernel rows).
+  const auto extent = [&layer](int out, int kr) {
+    return static_cast<double>((out - 1) * std::min(layer.stride, kr) + kr);
+  };
+  switch (axis.dim) {
+    case nn::Dim::kN: return used;
+    case nn::Dim::kK: return dw ? used : 1.0;  // broadcast over K for conv
+    case nn::Dim::kC: return dw ? 1.0 : used;
+    case nn::Dim::kYp: {
+      const double union_rows = extent(tile_of(t2, nn::Dim::kYp),
+                                       tile_of(t2, nn::Dim::kR));
+      const double pe_rows = extent(tile_of(share, nn::Dim::kYp),
+                                    tile_of(t2, nn::Dim::kR));
+      return std::clamp(union_rows / pe_rows, 1.0, used);
+    }
+    case nn::Dim::kXp: {
+      const double union_cols = extent(tile_of(t2, nn::Dim::kXp),
+                                       tile_of(t2, nn::Dim::kS));
+      const double pe_cols = extent(tile_of(share, nn::Dim::kXp),
+                                    tile_of(t2, nn::Dim::kS));
+      return std::clamp(union_cols / pe_cols, 1.0, used);
+    }
+    case nn::Dim::kR: {
+      const double union_rows = extent(tile_of(t2, nn::Dim::kYp),
+                                       tile_of(t2, nn::Dim::kR));
+      const double pe_rows = extent(tile_of(t2, nn::Dim::kYp),
+                                    tile_of(share, nn::Dim::kR));
+      return std::clamp(union_rows / pe_rows, 1.0, used);
+    }
+    case nn::Dim::kS: {
+      const double union_cols = extent(tile_of(t2, nn::Dim::kXp),
+                                       tile_of(t2, nn::Dim::kS));
+      const double pe_cols = extent(tile_of(t2, nn::Dim::kXp),
+                                    tile_of(share, nn::Dim::kS));
+      return std::clamp(union_cols / pe_cols, 1.0, used);
+    }
+  }
+  return used;
+}
+
+}  // namespace
+
+CostReport CostModel::evaluate(const arch::ArchConfig& arch,
+                               const nn::ConvLayer& layer,
+                               const mapping::Mapping& m) const {
+  CostReport rep;
+  const auto legality = mapping::check(m, layer, arch);
+  if (!arch.valid()) {
+    rep.illegal_reason = "invalid accelerator configuration";
+    rep.edp = std::numeric_limits<double>::infinity();
+    return rep;
+  }
+  if (!legality.legal) {
+    rep.illegal_reason = legality.reason;
+    rep.edp = std::numeric_limits<double>::infinity();
+    return rep;
+  }
+  rep.legal = true;
+
+  const nn::LayerKind kind = layer.kind;
+
+  // ---- Tile geometry -------------------------------------------------
+  TileSizes t2 = m.dram.tile;   // L2 tile
+  TileSizes t1 = m.pe.tile;     // per-PE (L1) tile
+  TileSizes share{};            // per-PE share of the L2 tile
+  TripCounts n2{};              // DRAM-level trips: ceil(dim / t2)
+  TripCounts n1{};              // per-PE temporal trips: ceil(share / t1)
+  for (nn::Dim d : nn::all_dims()) {
+    const auto i = static_cast<std::size_t>(static_cast<int>(d));
+    t2[i] = std::clamp(t2[i], 1, layer.dim_size(d));
+    share[i] = mapping::pe_share(layer, arch, t2, d);
+    t1[i] = std::clamp(t1[i], 1, share[i]);
+    n2[i] = ceil_div(layer.dim_size(d), t2[i]);
+    n1[i] = ceil_div(share[i], t1[i]);
+  }
+
+  // Active PEs per axis for a full L2 tile.
+  AxisInfo axes[arch::kMaxArrayDims];
+  double active_pes = 1.0;
+  for (int a = 0; a < arch.num_array_dims; ++a) {
+    AxisInfo& ax = axes[a];
+    ax.dim = arch.parallel_dims[static_cast<std::size_t>(a)];
+    ax.size = arch.array_dims[static_cast<std::size_t>(a)];
+    const auto i = static_cast<std::size_t>(static_cast<int>(ax.dim));
+    ax.used = static_cast<int>(ceil_div(t2[i], share[i]));
+    active_pes *= ax.used;
+  }
+
+  const auto fp2 = mapping::tile_footprint(layer, t2);
+  const auto fp1 = mapping::tile_footprint(layer, t1);
+
+  // Total L2-tile phases (every DRAM-level iteration is one phase).
+  double phases = 1.0;
+  for (nn::Dim d : nn::all_dims())
+    phases *= static_cast<double>(trips_of(n2, d));
+
+  // ---- Level 1: DRAM <-> L2 ------------------------------------------
+  const double in_dram =
+      reload_factor(m.dram.order, n2, Tensor::kInput, kind) *
+      static_cast<double>(fp2.input);
+  const double w_dram =
+      reload_factor(m.dram.order, n2, Tensor::kWeight, kind) *
+      static_cast<double>(fp2.weight);
+  const double out_factor2 =
+      reload_factor(m.dram.order, n2, Tensor::kOutput, kind);
+  const double out_distinct2 = distinct_tiles(n2, Tensor::kOutput, kind);
+  const double out_writes_dram =
+      out_factor2 * static_cast<double>(fp2.output);
+  const double out_reads_dram =
+      (out_factor2 - out_distinct2) * static_cast<double>(fp2.output);
+
+  rep.dram_bytes = in_dram + w_dram + out_writes_dram + out_reads_dram;
+  const double l2_fill_writes = in_dram + w_dram + out_reads_dram;
+  const double l2_drain_reads = out_writes_dram;
+
+  // ---- Level 2: L2 <-> PE array (per phase, per PE, then scaled) ------
+  const double per_pe_in =
+      reload_factor(m.pe.order, n1, Tensor::kInput, kind) *
+      static_cast<double>(fp1.input);
+  const double per_pe_w =
+      reload_factor(m.pe.order, n1, Tensor::kWeight, kind) *
+      static_cast<double>(fp1.weight);
+  const double out_factor1 =
+      reload_factor(m.pe.order, n1, Tensor::kOutput, kind);
+  const double out_distinct1 = distinct_tiles(n1, Tensor::kOutput, kind);
+  const double per_pe_out_w = out_factor1 * static_cast<double>(fp1.output);
+  const double per_pe_out_r =
+      (out_factor1 - out_distinct1) * static_cast<double>(fp1.output);
+
+  // Spatial multipliers: unicast axes multiply unique L2 reads, broadcast
+  // axes do not; inputs get the halo-aware multiplier.
+  double in_mult = 1.0, w_mult = 1.0, out_mult = 1.0;
+  double fanout = 1.0;        // total active PEs (delivery energy)
+  double red_extent = 1.0;    // PEs combined by in-network reduction
+  for (int a = 0; a < arch.num_array_dims; ++a) {
+    const AxisInfo& ax = axes[a];
+    fanout *= ax.used;
+    in_mult *= input_axis_multiplier(layer, t2, share, ax);
+    w_mult *= is_relevant(Tensor::kWeight, ax.dim, kind)
+                  ? static_cast<double>(ax.used)
+                  : 1.0;
+    if (is_relevant(Tensor::kOutput, ax.dim, kind)) {
+      out_mult *= static_cast<double>(ax.used);
+    } else if (is_reduction(ax.dim, kind)) {
+      red_extent *= static_cast<double>(ax.used);
+    }
+  }
+
+  const double l2_in_reads = phases * per_pe_in * in_mult;
+  const double l2_w_reads = phases * per_pe_w * w_mult;
+  const double l2_out_writes = phases * per_pe_out_w * out_mult;
+  const double l2_out_reads = phases * per_pe_out_r * out_mult;
+
+  rep.l2_read_bytes = l2_in_reads + l2_w_reads + l2_out_reads + l2_drain_reads;
+  rep.l2_write_bytes = l2_out_writes + l2_fill_writes;
+
+  // NoC delivery energy: every active PE receives its operand stream
+  // (multicast delivers the same word to many PEs); psum reduction adds
+  // (red_extent - 1) hops per reduced output byte.
+  rep.noc_delivery_bytes =
+      phases * (per_pe_in + per_pe_w + per_pe_out_r + per_pe_out_w) * fanout;
+  rep.reduction_hop_bytes = l2_out_writes * (red_extent - 1.0);
+
+  // ---- Level 3: registers inside the PE -------------------------------
+  TripCounts reg_trips{};
+  for (nn::Dim d : nn::all_dims())
+    reg_trips[static_cast<std::size_t>(static_cast<int>(d))] =
+        tile_of(t1, d);
+  rep.macs = static_cast<double>(layer.macs());
+  const double in_rr = register_reuse(m.pe_order, reg_trips, Tensor::kInput, kind);
+  const double w_rr =
+      register_reuse(m.pe_order, reg_trips, Tensor::kWeight, kind);
+  const double out_rr =
+      register_reuse(m.pe_order, reg_trips, Tensor::kOutput, kind);
+  const double l1_in_reads = rep.macs / in_rr;
+  const double l1_w_reads = rep.macs / w_rr;
+  const double l1_out_rw = 2.0 * rep.macs / out_rr;
+  // Data entering L1 from the NoC and psums drained back out.
+  const double l1_fill = phases * (per_pe_in + per_pe_w + per_pe_out_r) * fanout;
+  const double l1_drain = phases * per_pe_out_w * fanout;
+  rep.l1_access_bytes =
+      l1_in_reads + l1_w_reads + l1_out_rw + l1_fill + l1_drain;
+
+  // ---- Latency ---------------------------------------------------------
+  // Each PE runs its padded temporal iteration space at 1 MAC/cycle; ceil
+  // padding and idle axes are the utilization losses that array-shape
+  // search exploits.
+  double per_pe_iters = 1.0;
+  for (nn::Dim d : nn::all_dims()) {
+    const auto i = static_cast<std::size_t>(static_cast<int>(d));
+    per_pe_iters *= static_cast<double>(n1[i]) * static_cast<double>(t1[i]);
+  }
+  rep.compute_cycles = phases * per_pe_iters;
+  rep.noc_cycles = (rep.l2_read_bytes + rep.l2_write_bytes) /
+                   static_cast<double>(arch.noc_bandwidth);
+  rep.dram_cycles = rep.dram_bytes / static_cast<double>(arch.dram_bandwidth);
+  // Pipeline fill: first L2 tile load plus systolic array depth.
+  double array_depth = 0.0;
+  for (int a = 0; a < arch.num_array_dims; ++a)
+    array_depth += axes[a].size;
+  const double fill_cycles =
+      static_cast<double>(fp2.total()) /
+          static_cast<double>(arch.dram_bandwidth) +
+      array_depth;
+  rep.latency_cycles =
+      std::max({rep.compute_cycles, rep.noc_cycles, rep.dram_cycles}) +
+      fill_cycles;
+
+  rep.pe_utilization =
+      rep.macs / (static_cast<double>(arch.num_pes()) * rep.compute_cycles);
+
+  // ---- Energy ----------------------------------------------------------
+  const EnergyModel& em = energy_;
+  rep.energy.mac_pj = rep.macs * em.mac_pj;
+  rep.energy.l1_pj = rep.l1_access_bytes * em.l1_access_pj(arch.l1_bytes);
+  rep.energy.l2_pj = (rep.l2_read_bytes + rep.l2_write_bytes) *
+                     em.l2_access_pj(arch.l2_bytes);
+  rep.energy.noc_pj =
+      (rep.noc_delivery_bytes + rep.reduction_hop_bytes) * em.noc_hop_pj;
+  rep.energy.dram_pj = rep.dram_bytes * em.dram_pj_per_byte;
+  rep.energy_nj = rep.energy.total_pj() / 1000.0;
+  rep.edp = rep.energy_nj * rep.latency_cycles;
+  return rep;
+}
+
+}  // namespace naas::cost

@@ -1,0 +1,17 @@
+#include "cost/energy_model.hpp"
+
+#include <cmath>
+
+namespace naas::cost {
+
+double EnergyModel::l1_access_pj(long long l1_bytes) const {
+  return l1_base_pj +
+         l1_sqrt_coef_pj * std::sqrt(static_cast<double>(l1_bytes) / 1024.0);
+}
+
+double EnergyModel::l2_access_pj(long long l2_bytes) const {
+  return l2_base_pj +
+         l2_sqrt_coef_pj * std::sqrt(static_cast<double>(l2_bytes) / 1024.0);
+}
+
+}  // namespace naas::cost

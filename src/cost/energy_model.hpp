@@ -1,0 +1,31 @@
+#pragma once
+
+namespace naas::cost {
+
+/// Per-access energy parameters (picojoules), int8 datapath.
+///
+/// The ladder follows the well-known Eyeriss/MAESTRO relative costs at
+/// ~45nm: a register-file access costs about one MAC, a ~100KB SRAM about
+/// 6x, DRAM about 200x. SRAM energy grows with capacity following a
+/// CACTI-like square-root law: E(bytes) = base + coef * sqrt(KB). Absolute
+/// values are representative, not calibrated to any single silicon — EDP
+/// *ratios* (the paper's reported quantities) are what the model preserves.
+struct EnergyModel {
+  double mac_pj = 1.0;            ///< one multiply-accumulate
+  double noc_hop_pj = 0.8;        ///< one word over one NoC link/hop
+  double dram_pj_per_byte = 200.0;
+
+  double l1_base_pj = 0.6;        ///< L1 access = base + coef*sqrt(KB)
+  double l1_sqrt_coef_pj = 0.4;
+  double l2_base_pj = 1.2;        ///< L2 access = base + coef*sqrt(KB)
+  double l2_sqrt_coef_pj = 0.6;
+
+  /// Energy of one L1 (per-PE scratch pad) byte access for a pad of
+  /// `l1_bytes` capacity.
+  double l1_access_pj(long long l1_bytes) const;
+
+  /// Energy of one L2 (shared buffer) byte access for `l2_bytes` capacity.
+  double l2_access_pj(long long l2_bytes) const;
+};
+
+}  // namespace naas::cost

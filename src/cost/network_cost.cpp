@@ -1,0 +1,47 @@
+#include "cost/network_cost.hpp"
+
+#include <limits>
+
+#include "mapping/canonical.hpp"
+
+namespace naas::cost {
+
+NetworkCost evaluate_network(const CostModel& model,
+                             const arch::ArchConfig& arch,
+                             const nn::Network& net,
+                             const MappingProvider& provider) {
+  NetworkCost nc;
+  nc.network_name = net.name();
+  nc.arch_name = arch.name;
+  for (const auto& [layer, count] : net.unique_layers()) {
+    LayerCost lc;
+    lc.layer = layer;
+    lc.count = count;
+    lc.report = model.evaluate(arch, layer, provider(arch, layer));
+    if (!lc.report.legal) {
+      nc.legal = false;
+      nc.edp = std::numeric_limits<double>::infinity();
+      nc.latency_cycles = std::numeric_limits<double>::infinity();
+      nc.energy_nj = std::numeric_limits<double>::infinity();
+      nc.per_layer.push_back(std::move(lc));
+      continue;
+    }
+    nc.latency_cycles += lc.report.latency_cycles * count;
+    nc.energy_nj += lc.report.energy_nj * count;
+    nc.per_layer.push_back(std::move(lc));
+  }
+  if (nc.legal) nc.edp = nc.energy_nj * nc.latency_cycles;
+  return nc;
+}
+
+NetworkCost evaluate_network_canonical(const CostModel& model,
+                                       const arch::ArchConfig& arch,
+                                       const nn::Network& net) {
+  return evaluate_network(
+      model, arch, net,
+      [](const arch::ArchConfig& a, const nn::ConvLayer& l) {
+        return mapping::canonical_mapping(a, l);
+      });
+}
+
+}  // namespace naas::cost

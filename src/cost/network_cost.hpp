@@ -1,0 +1,51 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cost/cost_model.hpp"
+#include "nn/network.hpp"
+
+namespace naas::cost {
+
+/// Cost of one unique layer shape (with its multiplicity in the network).
+struct LayerCost {
+  nn::ConvLayer layer;
+  int count = 1;
+  CostReport report;
+};
+
+/// Whole-network inference cost on one accelerator. EDP is
+/// total energy x total latency (batch-1 end-to-end inference, layers
+/// executed back-to-back), the metric the paper reports.
+struct NetworkCost {
+  std::string network_name;
+  std::string arch_name;
+  bool legal = true;              ///< false if any layer was illegal
+  double latency_cycles = 0;      ///< sum over layers
+  double energy_nj = 0;           ///< sum over layers
+  double edp = 0;                 ///< energy_nj * latency_cycles
+  std::vector<LayerCost> per_layer;  ///< unique shapes only
+};
+
+/// Supplies the mapping to use for each (accelerator, layer) pair — either
+/// a canonical baseline mapping or the result of mapping search.
+using MappingProvider = std::function<mapping::Mapping(
+    const arch::ArchConfig&, const nn::ConvLayer&)>;
+
+/// Evaluates every *unique* layer shape of `net` once, scales by
+/// multiplicity, and aggregates. Networks with repeated blocks evaluate
+/// several times faster than naive per-layer iteration.
+NetworkCost evaluate_network(const CostModel& model,
+                             const arch::ArchConfig& arch,
+                             const nn::Network& net,
+                             const MappingProvider& provider);
+
+/// Convenience: evaluates with the accelerator's canonical (native
+/// dataflow) mapping for every layer — the fixed-baseline methodology.
+NetworkCost evaluate_network_canonical(const CostModel& model,
+                                       const arch::ArchConfig& arch,
+                                       const nn::Network& net);
+
+}  // namespace naas::cost

@@ -1,0 +1,74 @@
+#include "cost/report.hpp"
+
+#include <sstream>
+
+#include "core/table.hpp"
+
+namespace naas::cost {
+
+std::string format_report(const CostReport& r) {
+  std::ostringstream os;
+  if (!r.legal) {
+    os << "ILLEGAL mapping: " << r.illegal_reason << '\n';
+    return os.str();
+  }
+  using core::Table;
+  os << "latency " << Table::fmt_sci(r.latency_cycles, 3) << " cycles"
+     << " (compute " << Table::fmt_sci(r.compute_cycles, 2) << ", noc "
+     << Table::fmt_sci(r.noc_cycles, 2) << ", dram "
+     << Table::fmt_sci(r.dram_cycles, 2) << ")\n";
+  os << "energy  " << Table::fmt_sci(r.energy_nj, 3) << " nJ, EDP "
+     << Table::fmt_sci(r.edp, 3) << ", PE utilization "
+     << Table::fmt(r.pe_utilization * 100.0, 1) << "%\n";
+
+  Table t({"Component", "Energy (pJ)", "Share"});
+  const double total = r.energy.total_pj();
+  auto row = [&](const char* name, double pj) {
+    t.add_row({name, Table::fmt_sci(pj, 2),
+               Table::fmt(100.0 * pj / total, 1) + "%"});
+  };
+  row("MAC", r.energy.mac_pj);
+  row("L1 (scratch pads)", r.energy.l1_pj);
+  row("L2 (global buffer)", r.energy.l2_pj);
+  row("NoC", r.energy.noc_pj);
+  row("DRAM", r.energy.dram_pj);
+  os << t.to_string();
+
+  Table traffic({"Traffic", "Bytes"});
+  traffic.add_row({"DRAM", Table::fmt_sci(r.dram_bytes, 2)});
+  traffic.add_row({"L2 reads", Table::fmt_sci(r.l2_read_bytes, 2)});
+  traffic.add_row({"L2 writes", Table::fmt_sci(r.l2_write_bytes, 2)});
+  traffic.add_row({"L1 accesses", Table::fmt_sci(r.l1_access_bytes, 2)});
+  traffic.add_row({"NoC deliveries", Table::fmt_sci(r.noc_delivery_bytes, 2)});
+  traffic.add_row(
+      {"Reduction hops", Table::fmt_sci(r.reduction_hop_bytes, 2)});
+  os << traffic.to_string();
+  return os.str();
+}
+
+std::string format_network_cost(const NetworkCost& nc) {
+  using core::Table;
+  std::ostringstream os;
+  os << nc.network_name << " on " << nc.arch_name << ":\n";
+  Table t({"Layer", "x", "Latency (cyc)", "Energy (nJ)", "Util",
+           "Time share"});
+  for (const auto& lc : nc.per_layer) {
+    // EDP is not separable per layer; report the latency share instead.
+    const double time_share =
+        nc.latency_cycles > 0
+            ? 100.0 * lc.report.latency_cycles * lc.count / nc.latency_cycles
+            : 0.0;
+    t.add_row({lc.layer.name, std::to_string(lc.count),
+               Table::fmt_sci(lc.report.latency_cycles, 2),
+               Table::fmt_sci(lc.report.energy_nj, 2),
+               Table::fmt(lc.report.pe_utilization, 2),
+               Table::fmt(time_share, 1) + "%"});
+  }
+  os << t.to_string();
+  os << "total: latency " << Table::fmt_sci(nc.latency_cycles, 3)
+     << " cycles, energy " << Table::fmt_sci(nc.energy_nj, 3) << " nJ, EDP "
+     << Table::fmt_sci(nc.edp, 3) << (nc.legal ? "" : " (ILLEGAL)") << '\n';
+  return os.str();
+}
+
+}  // namespace naas::cost

@@ -1,0 +1,19 @@
+#pragma once
+
+#include <string>
+
+#include "cost/cost_model.hpp"
+#include "cost/network_cost.hpp"
+
+namespace naas::cost {
+
+/// Human-readable multi-section report for one layer evaluation: latency
+/// components, energy breakdown with percentages, traffic volumes, and
+/// utilization. Used by the CLI and examples.
+std::string format_report(const CostReport& report);
+
+/// Per-layer summary table for a whole network evaluation (one row per
+/// unique layer shape, scaled totals at the bottom).
+std::string format_network_cost(const NetworkCost& cost);
+
+}  // namespace naas::cost

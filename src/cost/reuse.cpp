@@ -1,0 +1,97 @@
+#include "cost/reuse.hpp"
+
+namespace naas::cost {
+
+const char* tensor_name(Tensor t) {
+  switch (t) {
+    case Tensor::kInput: return "input";
+    case Tensor::kWeight: return "weight";
+    case Tensor::kOutput: return "output";
+  }
+  return "?";
+}
+
+bool is_relevant(Tensor t, nn::Dim d, nn::LayerKind kind) {
+  const bool dw = kind == nn::LayerKind::kDepthwiseConv;
+  switch (t) {
+    case Tensor::kInput:
+      switch (d) {
+        case nn::Dim::kN:
+        case nn::Dim::kYp:
+        case nn::Dim::kXp:
+        case nn::Dim::kR:
+        case nn::Dim::kS: return true;
+        case nn::Dim::kC: return !dw;
+        case nn::Dim::kK: return dw;
+      }
+      return false;
+    case Tensor::kWeight:
+      switch (d) {
+        case nn::Dim::kK:
+        case nn::Dim::kR:
+        case nn::Dim::kS: return true;
+        case nn::Dim::kC: return !dw;
+        default: return false;
+      }
+    case Tensor::kOutput:
+      switch (d) {
+        case nn::Dim::kN:
+        case nn::Dim::kK:
+        case nn::Dim::kYp:
+        case nn::Dim::kXp: return true;
+        default: return false;
+      }
+  }
+  return false;
+}
+
+bool is_reduction(nn::Dim d, nn::LayerKind kind) {
+  if (d == nn::Dim::kR || d == nn::Dim::kS) return true;
+  if (d == nn::Dim::kC) return kind != nn::LayerKind::kDepthwiseConv;
+  return false;
+}
+
+long long trips_of(const TripCounts& t, nn::Dim d) {
+  return t[static_cast<std::size_t>(static_cast<int>(d))];
+}
+
+double reload_factor(const mapping::LoopOrder& order, const TripCounts& trips,
+                     Tensor t, nn::LayerKind kind) {
+  double factor = 1.0;
+  bool seen_relevant = false;  // scanning innermost -> outermost
+  for (int i = nn::kNumDims - 1; i >= 0; --i) {
+    const nn::Dim d = order[static_cast<std::size_t>(i)];
+    const double trip = static_cast<double>(trips_of(trips, d));
+    if (trip <= 1.0) continue;  // a single-trip loop is no loop at all
+    if (is_relevant(t, d, kind)) {
+      factor *= trip;
+      seen_relevant = true;
+    } else if (seen_relevant) {
+      factor *= trip;
+    }
+    // else: innermost irrelevant run -> temporal reuse, no refetch.
+  }
+  return factor;
+}
+
+double distinct_tiles(const TripCounts& trips, Tensor t, nn::LayerKind kind) {
+  double n = 1.0;
+  for (nn::Dim d : nn::all_dims())
+    if (is_relevant(t, d, kind)) n *= static_cast<double>(trips_of(trips, d));
+  return n;
+}
+
+double register_reuse(const mapping::LoopOrder& order, const TripCounts& trips,
+                      Tensor t, nn::LayerKind kind) {
+  double reuse = 1.0;
+  for (int i = nn::kNumDims - 1; i >= 0; --i) {
+    const nn::Dim d = order[static_cast<std::size_t>(i)];
+    const double trip = static_cast<double>(trips_of(trips, d));
+    if (trip <= 1.0) continue;  // degenerate loop: neither reuse nor barrier
+    if (is_relevant(t, d, kind)) break;
+    reuse *= trip;
+  }
+  return reuse;
+}
+
+}  // namespace naas::cost

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <array>
+
+#include "mapping/mapping.hpp"
+#include "nn/layer.hpp"
+
+namespace naas::cost {
+
+/// The three operand tensors of a convolution.
+enum class Tensor { kInput, kWeight, kOutput };
+
+/// Name of a tensor ("input", "weight", "output").
+const char* tensor_name(Tensor t);
+
+/// True if loop dimension `d` indexes tensor `t`.
+///
+/// Standard conv / FC:
+///   input:  N, C, Y', X', R, S   (K is irrelevant -> broadcast over K)
+///   weight: K, C, R, S           (N, Y', X' irrelevant -> stationary)
+///   output: N, K, Y', X'         (C, R, S are reduction dims)
+/// Depthwise conv: the K loop walks channels, so the input is indexed by K
+/// instead of C, and C (== 1) is irrelevant everywhere.
+bool is_relevant(Tensor t, nn::Dim d, nn::LayerKind kind);
+
+/// True if `d` is a reduction dimension for the layer kind (irrelevant to
+/// the output index but accumulating partial sums): C,R,S for conv/FC,
+/// R,S for depthwise.
+bool is_reduction(nn::Dim d, nn::LayerKind kind);
+
+/// Per-dimension trip counts of one temporal loop level.
+using TripCounts = std::array<long long, nn::kNumDims>;
+
+/// Trip count accessor by dim.
+long long trips_of(const TripCounts& t, nn::Dim d);
+
+/// Core reuse primitive. Given the loops of one temporal level (`order`,
+/// outermost first, with per-dim `trips`), returns how many times the inner
+/// tile of tensor `t` is fetched from the parent memory level:
+///
+///   factor = product of trips over loops that are relevant to `t`, times
+///            trips of irrelevant loops that have at least one relevant
+///            loop deeper inside.
+///
+/// The innermost contiguous run of irrelevant loops is excluded — while
+/// those loops iterate, the tensor's tile sits resident in this level's
+/// buffer and is reused (temporal reuse). This is the standard analytical
+/// dataflow model: placing a tensor's irrelevant loops innermost makes it
+/// "stationary" at this level.
+///
+/// Returned as double because products of trips across seven dims can
+/// exceed 2^63 for large workloads.
+double reload_factor(const mapping::LoopOrder& order, const TripCounts& trips,
+                     Tensor t, nn::LayerKind kind);
+
+/// Product of trips over loops relevant to `t`: the number of distinct
+/// tiles of `t` at this level (reload_factor / distinct_tiles = number of
+/// revisits of each tile).
+double distinct_tiles(const TripCounts& trips, Tensor t, nn::LayerKind kind);
+
+/// Register-level reuse: the product of trips of the innermost contiguous
+/// run of loops irrelevant to `t` in `order`. A single-entry register can
+/// hold the operand across exactly those iterations, so L1 reads for `t`
+/// are total_macs / register_reuse.
+double register_reuse(const mapping::LoopOrder& order, const TripCounts& trips,
+                      Tensor t, nn::LayerKind kind);
+
+}  // namespace naas::cost

@@ -1,0 +1,67 @@
+#include "cost/trace_sim.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+#include <vector>
+
+namespace naas::cost {
+
+TraceCounts TraceSimulator::run(const mapping::LoopOrder& order,
+                                const TripCounts& trips, Tensor tensor,
+                                nn::LayerKind kind,
+                                long long max_iterations) {
+  long long total = 1;
+  for (nn::Dim d : nn::all_dims()) total *= trips_of(trips, d);
+  if (total > max_iterations)
+    throw std::invalid_argument("TraceSimulator: iteration space too large");
+
+  // Odometer over the loop nest, outermost digit first.
+  std::vector<long long> counter(nn::kNumDims, 0);
+  std::vector<long long> limit(nn::kNumDims);
+  std::vector<bool> relevant(nn::kNumDims);
+  for (int i = 0; i < nn::kNumDims; ++i) {
+    const nn::Dim d = order[static_cast<std::size_t>(i)];
+    limit[static_cast<std::size_t>(i)] = trips_of(trips, d);
+    relevant[static_cast<std::size_t>(i)] = is_relevant(tensor, d, kind);
+  }
+
+  // Tile id = mixed-radix number over the relevant loop indices.
+  auto tile_id = [&]() {
+    long long id = 0;
+    for (int i = 0; i < nn::kNumDims; ++i) {
+      if (!relevant[static_cast<std::size_t>(i)]) continue;
+      id = id * (limit[static_cast<std::size_t>(i)] + 1) +
+           counter[static_cast<std::size_t>(i)];
+    }
+    return id;
+  };
+
+  TraceCounts counts;
+  long long resident = -1;                 // tile currently in the buffer
+  std::unordered_set<long long> written;   // output tiles already evicted
+
+  for (long long step = 0; step < total; ++step) {
+    const long long needed = tile_id();
+    if (needed != resident) {
+      if (tensor == Tensor::kOutput) {
+        if (resident != -1) {
+          ++counts.writebacks;
+          written.insert(resident);
+        }
+        if (written.count(needed)) ++counts.readbacks;
+      }
+      ++counts.fetches;
+      resident = needed;
+    }
+    // Advance the odometer (innermost digit fastest).
+    for (int i = nn::kNumDims - 1; i >= 0; --i) {
+      auto& c = counter[static_cast<std::size_t>(i)];
+      if (++c < limit[static_cast<std::size_t>(i)]) break;
+      c = 0;
+    }
+  }
+  if (tensor == Tensor::kOutput && resident != -1) ++counts.writebacks;
+  return counts;
+}
+
+}  // namespace naas::cost

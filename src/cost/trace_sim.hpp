@@ -1,0 +1,44 @@
+#pragma once
+
+#include "cost/reuse.hpp"
+#include "mapping/mapping.hpp"
+#include "nn/layer.hpp"
+
+namespace naas::cost {
+
+/// Exact fetch/writeback counts for one tensor at one temporal level,
+/// produced by functionally executing the loop nest (TraceSimulator).
+struct TraceCounts {
+  long long fetches = 0;      ///< tile loads from the parent level
+  long long writebacks = 0;   ///< output tile stores to the parent level
+  long long readbacks = 0;    ///< partial-sum tiles re-read from the parent
+};
+
+/// Reference simulator for the reuse analysis: walks the temporal loop
+/// nest of one level tile-by-tile (in the mapping's order, with the given
+/// per-dimension trip counts) and counts exactly how often each tensor's
+/// tile must be (re)loaded from the parent level, under the same buffering
+/// contract the analytical model assumes — this level holds one resident
+/// tile per tensor, replaced whenever the needed tile id changes.
+///
+/// For the output tensor, a tile is written back when evicted and read
+/// back when it returns after eviction (partial-sum spill). The analytical
+/// counterparts are:
+///   fetches(input/weight)  == reload_factor(...)
+///   writebacks(output)     == reload_factor(output)        (per visit)
+///   readbacks(output)      == reload_factor - distinct_tiles
+///
+/// Intended for validation in tests: cost is O(total trip product), so use
+/// small trip counts.
+class TraceSimulator {
+ public:
+  /// Counts fetches for `tensor` under `order`/`trips` for a layer kind.
+  /// Total loop iterations must stay below `max_iterations` (guards test
+  /// hangs; throws std::invalid_argument beyond it).
+  static TraceCounts run(const mapping::LoopOrder& order,
+                         const TripCounts& trips, Tensor tensor,
+                         nn::LayerKind kind,
+                         long long max_iterations = 1 << 22);
+};
+
+}  // namespace naas::cost

@@ -1,0 +1,68 @@
+#include "mapping/canonical.hpp"
+
+namespace naas::mapping {
+
+LoopOrder weight_stationary_order() {
+  return {nn::Dim::kK,  nn::Dim::kC, nn::Dim::kR, nn::Dim::kS,
+          nn::Dim::kN,  nn::Dim::kYp, nn::Dim::kXp};
+}
+
+LoopOrder output_stationary_order() {
+  return {nn::Dim::kN,  nn::Dim::kK, nn::Dim::kYp, nn::Dim::kXp,
+          nn::Dim::kC,  nn::Dim::kR, nn::Dim::kS};
+}
+
+LoopOrder row_stationary_order() {
+  return {nn::Dim::kK, nn::Dim::kC, nn::Dim::kN, nn::Dim::kYp,
+          nn::Dim::kR, nn::Dim::kXp, nn::Dim::kS};
+}
+
+LoopOrder canonical_order(arch::Dataflow df) {
+  switch (df) {
+    case arch::Dataflow::kWeightStationary: return weight_stationary_order();
+    case arch::Dataflow::kOutputStationary: return output_stationary_order();
+    case arch::Dataflow::kRowStationary: return row_stationary_order();
+  }
+  return default_order();
+}
+
+ShrinkPriority canonical_shrink_priority(arch::Dataflow df) {
+  switch (df) {
+    case arch::Dataflow::kWeightStationary:
+      // Keep weight tiles (K,C,R,S) large; stream spatial dims.
+      return {nn::Dim::kYp, nn::Dim::kXp, nn::Dim::kN, nn::Dim::kK,
+              nn::Dim::kC,  nn::Dim::kS,  nn::Dim::kR};
+    case arch::Dataflow::kOutputStationary:
+      // Keep output tiles (K,Y',X') large; shrink reduction dims first.
+      return {nn::Dim::kR, nn::Dim::kS, nn::Dim::kC, nn::Dim::kK,
+              nn::Dim::kXp, nn::Dim::kYp, nn::Dim::kN};
+    case arch::Dataflow::kRowStationary:
+      // Keep kernel rows/cols resident; shrink channel dims first.
+      return {nn::Dim::kK, nn::Dim::kC, nn::Dim::kYp, nn::Dim::kXp,
+              nn::Dim::kN, nn::Dim::kS, nn::Dim::kR};
+  }
+  return default_shrink_priority();
+}
+
+Mapping canonical_mapping(const arch::ArchConfig& arch,
+                          const nn::ConvLayer& layer, arch::Dataflow df) {
+  Mapping m;
+  const LoopOrder order = canonical_order(df);
+  m.dram.order = order;
+  m.pe.order = order;
+  m.pe_order = order;
+  // Start from maximal tiles; repair shrinks them (priority-directed) until
+  // both buffer levels fit.
+  for (nn::Dim d : nn::all_dims()) {
+    set_tile(m.dram.tile, d, layer.dim_size(d));
+    set_tile(m.pe.tile, d, layer.dim_size(d));  // clamped to share in repair
+  }
+  return repair(std::move(m), layer, arch, canonical_shrink_priority(df));
+}
+
+Mapping canonical_mapping(const arch::ArchConfig& arch,
+                          const nn::ConvLayer& layer) {
+  return canonical_mapping(arch, layer, arch::native_dataflow(arch));
+}
+
+}  // namespace naas::mapping

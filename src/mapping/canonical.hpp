@@ -1,0 +1,40 @@
+#pragma once
+
+#include "arch/accelerator.hpp"
+#include "arch/presets.hpp"
+#include "mapping/legality.hpp"
+#include "mapping/mapping.hpp"
+#include "nn/layer.hpp"
+
+namespace naas::mapping {
+
+/// Canonical loop orders for the three dataflow families.
+/// Weight-stationary: weight-relevant dims (K,C,R,S) outermost, so the
+/// irrelevant X'/Y'/N stream innermost and weights stay resident.
+LoopOrder weight_stationary_order();
+/// Output-stationary: reduction dims (C,R,S) innermost, psums accumulate in
+/// place.
+LoopOrder output_stationary_order();
+/// Row-stationary (Eyeriss-like): a filter row is held per PE while output
+/// columns stream; S innermost under X'.
+LoopOrder row_stationary_order();
+
+/// Canonical order for a dataflow family.
+LoopOrder canonical_order(arch::Dataflow df);
+
+/// Dataflow-specific shrink priority used to grow the largest tiles that
+/// preserve the family's stationarity (e.g. weight-stationary shrinks
+/// spatial dims before channel/kernel dims).
+ShrinkPriority canonical_shrink_priority(arch::Dataflow df);
+
+/// The baseline mapping used when evaluating a fixed accelerator without
+/// mapping search: canonical orders at every level, maximal greedy tiles
+/// repaired to capacity with the dataflow's shrink priority.
+Mapping canonical_mapping(const arch::ArchConfig& arch,
+                          const nn::ConvLayer& layer, arch::Dataflow df);
+
+/// Same, using the arch's native dataflow (arch::native_dataflow).
+Mapping canonical_mapping(const arch::ArchConfig& arch,
+                          const nn::ConvLayer& layer);
+
+}  // namespace naas::mapping

@@ -1,0 +1,39 @@
+#include "mapping/footprint.hpp"
+
+#include <algorithm>
+
+namespace naas::mapping {
+
+TileFootprint tile_footprint(const nn::ConvLayer& layer,
+                             const TileSizes& tile) {
+  auto t = [&](nn::Dim d) {
+    return std::max(1, std::min(tile_of(tile, d), layer.dim_size(d)));
+  };
+  const long long tn = t(nn::Dim::kN);
+  const long long tk = t(nn::Dim::kK);
+  const long long tc = t(nn::Dim::kC);
+  const long long typ = t(nn::Dim::kYp);
+  const long long txp = t(nn::Dim::kXp);
+  const long long tr = t(nn::Dim::kR);
+  const long long ts = t(nn::Dim::kS);
+
+  // Distinct input rows/cols read by the tile: consecutive outputs advance
+  // by min(stride, kernel-extent) — when stride exceeds the kernel rows in
+  // the tile, skipped input rows are never fetched.
+  const long long in_rows =
+      (typ - 1) * std::min<long long>(layer.stride, tr) + tr;
+  const long long in_cols =
+      (txp - 1) * std::min<long long>(layer.stride, ts) + ts;
+  // Depthwise layers have C == 1 in the loop nest; their input channels are
+  // walked by the K loop instead.
+  const long long in_ch =
+      layer.kind == nn::LayerKind::kDepthwiseConv ? tk : tc;
+
+  TileFootprint fp;
+  fp.input = tn * in_ch * in_rows * in_cols * kBytesPerElement;
+  fp.weight = tk * tc * tr * ts * kBytesPerElement;
+  fp.output = tn * tk * typ * txp * kBytesPerElement;
+  return fp;
+}
+
+}  // namespace naas::mapping

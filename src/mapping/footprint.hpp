@@ -1,0 +1,29 @@
+#pragma once
+
+#include "mapping/mapping.hpp"
+#include "nn/layer.hpp"
+
+namespace naas::mapping {
+
+/// Element size in bytes. The model uses int8 inference (1 byte per
+/// activation/weight element); partial sums are also counted at 1 byte so
+/// that capacities match the paper's byte-denominated buffer sizes.
+inline constexpr int kBytesPerElement = 1;
+
+/// Byte footprints of one tile of each operand.
+struct TileFootprint {
+  long long input = 0;
+  long long weight = 0;
+  long long output = 0;
+
+  long long total() const { return input + weight + output; }
+};
+
+/// Footprint of a tile with extents `tile` of `layer`'s iteration space.
+/// Input footprint accounts for the stride/kernel halo
+/// ((t_Y'-1)*stride + t_R rows, similarly for columns) and for depthwise
+/// layers walks channels with K. Tile extents are clamped to the layer's
+/// dimension sizes.
+TileFootprint tile_footprint(const nn::ConvLayer& layer, const TileSizes& tile);
+
+}  // namespace naas::mapping

@@ -1,0 +1,50 @@
+#include "nn/accuracy_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace naas::nn {
+
+double AccuracyPredictor::predict(const OfaConfig& cfg) const {
+  const OfaSpace space;
+  const OfaConfig c = space.repair(cfg);
+
+  // Normalized capacity factors in [0, 1].
+  const double f_img =
+      static_cast<double>(c.image_size - OfaSpace::kMinImage) /
+      (OfaSpace::kMaxImage - OfaSpace::kMinImage);
+  const double width =
+      OfaSpace::kWidthMults[static_cast<std::size_t>(c.width_idx)];
+  const double f_width = (width - 0.65) / 0.35;
+  const int total_depth =
+      std::accumulate(c.depths.begin(), c.depths.end(), 0);
+  const double f_depth = (total_depth - 8) / 10.0;  // min 8, max 18 blocks
+  double expand_sum = 0.0;
+  for (int b = 0; b < total_depth; ++b) {
+    expand_sum += OfaSpace::kExpandRatios[static_cast<std::size_t>(
+        c.expand_idx[static_cast<std::size_t>(std::min(b, 17))])];
+  }
+  const double f_expand =
+      (expand_sum / total_depth - 0.2) / 0.15;  // ratios span [0.2, 0.35]
+
+  // Saturating contributions. Coefficients are chosen so the anchors in the
+  // header documentation hold; each factor saturates via sqrt.
+  double acc = 72.8;
+  acc += 2.6 * std::sqrt(f_img);
+  acc += 1.9 * std::sqrt(f_width);
+  acc += 1.2 * std::sqrt(std::max(0.0, f_depth));
+  acc += 0.7 * std::sqrt(std::max(0.0, f_expand));
+  // Wide-but-shallow and deep-but-narrow nets underperform balanced ones.
+  acc -= 0.3 * std::abs(f_width - f_depth);
+
+  // Deterministic jitter in [-0.15, 0.15] from the fingerprint.
+  const std::uint64_t h = c.fingerprint();
+  const double unit =
+      static_cast<double>(h % 10007ULL) / 10006.0;  // [0, 1]
+  acc += (unit - 0.5) * 0.3;
+
+  return std::clamp(acc, 70.0, 80.5);
+}
+
+}  // namespace naas::nn

@@ -1,0 +1,160 @@
+#include "nn/layer.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+
+namespace naas::nn {
+
+const char* dim_name(Dim d) {
+  switch (d) {
+    case Dim::kN: return "N";
+    case Dim::kK: return "K";
+    case Dim::kC: return "C";
+    case Dim::kYp: return "Y'";
+    case Dim::kXp: return "X'";
+    case Dim::kR: return "R";
+    case Dim::kS: return "S";
+  }
+  return "?";
+}
+
+const char* layer_kind_name(LayerKind k) {
+  switch (k) {
+    case LayerKind::kConv: return "conv";
+    case LayerKind::kDepthwiseConv: return "dwconv";
+    case LayerKind::kFullyConnected: return "fc";
+  }
+  return "?";
+}
+
+int ConvLayer::dim_size(Dim d) const {
+  switch (d) {
+    case Dim::kN: return batch;
+    case Dim::kK: return out_channels;
+    case Dim::kC: return in_channels;
+    case Dim::kYp: return out_h;
+    case Dim::kXp: return out_w;
+    case Dim::kR: return kernel_h;
+    case Dim::kS: return kernel_w;
+  }
+  return 1;
+}
+
+long long ConvLayer::macs() const {
+  long long m = 1;
+  for (Dim d : all_dims()) m *= dim_size(d);
+  return m;
+}
+
+long long ConvLayer::input_elems() const {
+  const long long channels =
+      kind == LayerKind::kDepthwiseConv ? out_channels : in_channels;
+  return static_cast<long long>(batch) * channels *
+         input_rows_for(out_h) * input_cols_for(out_w);
+}
+
+long long ConvLayer::weight_elems() const {
+  const long long per_filter = static_cast<long long>(in_channels) *
+                               kernel_h * kernel_w;
+  return static_cast<long long>(out_channels) * per_filter;
+}
+
+long long ConvLayer::output_elems() const {
+  return static_cast<long long>(batch) * out_channels * out_h * out_w;
+}
+
+int ConvLayer::input_rows_for(int out_rows) const {
+  return (out_rows - 1) * std::min(stride, kernel_h) + kernel_h;
+}
+
+int ConvLayer::input_cols_for(int out_cols) const {
+  return (out_cols - 1) * std::min(stride, kernel_w) + kernel_w;
+}
+
+std::string ConvLayer::to_string() const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "%s: %s %dx%d k%dx%d s%d @%dx%d n%d",
+                name.c_str(), layer_kind_name(kind), in_channels, out_channels,
+                kernel_h, kernel_w, stride, out_h, out_w, batch);
+  return buf;
+}
+
+bool operator==(const ConvLayer& a, const ConvLayer& b) {
+  return a.name == b.name && ConvLayerShapeEq{}(a, b);
+}
+
+std::size_t ConvLayerShapeHash::operator()(const ConvLayer& l) const {
+  std::size_t h = static_cast<std::size_t>(l.kind);
+  auto mix = [&h](long long v) {
+    h ^= static_cast<std::size_t>(v) + 0x9e3779b97f4a7c15ULL + (h << 6) +
+         (h >> 2);
+  };
+  mix(l.batch);
+  mix(l.out_channels);
+  mix(l.in_channels);
+  mix(l.out_h);
+  mix(l.out_w);
+  mix(l.kernel_h);
+  mix(l.kernel_w);
+  mix(l.stride);
+  return h;
+}
+
+bool ConvLayerShapeEq::operator()(const ConvLayer& a, const ConvLayer& b) const {
+  return a.kind == b.kind && a.batch == b.batch &&
+         a.out_channels == b.out_channels && a.in_channels == b.in_channels &&
+         a.out_h == b.out_h && a.out_w == b.out_w &&
+         a.kernel_h == b.kernel_h && a.kernel_w == b.kernel_w &&
+         a.stride == b.stride;
+}
+
+ConvLayer make_conv(std::string name, int in_ch, int out_ch, int kernel,
+                    int stride, int out_hw, int batch) {
+  ConvLayer l;
+  l.name = std::move(name);
+  l.kind = LayerKind::kConv;
+  l.batch = batch;
+  l.in_channels = in_ch;
+  l.out_channels = out_ch;
+  l.kernel_h = kernel;
+  l.kernel_w = kernel;
+  l.stride = stride;
+  l.out_h = out_hw;
+  l.out_w = out_hw;
+  return l;
+}
+
+ConvLayer make_dwconv(std::string name, int channels, int kernel, int stride,
+                      int out_hw, int batch) {
+  ConvLayer l;
+  l.name = std::move(name);
+  l.kind = LayerKind::kDepthwiseConv;
+  l.batch = batch;
+  l.in_channels = 1;  // no cross-channel reduction
+  l.out_channels = channels;
+  l.kernel_h = kernel;
+  l.kernel_w = kernel;
+  l.stride = stride;
+  l.out_h = out_hw;
+  l.out_w = out_hw;
+  return l;
+}
+
+ConvLayer make_fc(std::string name, int in_features, int out_features,
+                  int batch) {
+  ConvLayer l;
+  l.name = std::move(name);
+  l.kind = LayerKind::kFullyConnected;
+  l.batch = batch;
+  l.in_channels = in_features;
+  l.out_channels = out_features;
+  l.kernel_h = 1;
+  l.kernel_w = 1;
+  l.stride = 1;
+  l.out_h = 1;
+  l.out_w = 1;
+  return l;
+}
+
+}  // namespace naas::nn

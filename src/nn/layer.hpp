@@ -1,0 +1,99 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace naas::nn {
+
+/// The seven loop dimensions of a convolution workload, following the
+/// paper's notation (Fig. 2): N batch, K output channels, C input channels,
+/// Y'/X' output rows/columns, R/S kernel rows/columns.
+enum class Dim : int { kN = 0, kK, kC, kYp, kXp, kR, kS };
+
+/// Number of loop dimensions.
+inline constexpr int kNumDims = 7;
+
+/// Short name for a dimension ("N", "K", "C", "Y'", "X'", "R", "S").
+const char* dim_name(Dim d);
+
+/// All dimensions in canonical order.
+constexpr std::array<Dim, kNumDims> all_dims() {
+  return {Dim::kN, Dim::kK, Dim::kC, Dim::kYp, Dim::kXp, Dim::kR, Dim::kS};
+}
+
+/// Workload flavors distinguished by the cost model.
+/// - kConv: standard convolution (C is a reduction dimension).
+/// - kDepthwiseConv: one filter per channel; C is fixed to 1 and the K loop
+///   walks channels, so there is no cross-channel reduction.
+/// - kFullyConnected: matrix-vector product expressed as a 1x1/1x1 conv.
+enum class LayerKind { kConv, kDepthwiseConv, kFullyConnected };
+
+/// Name of a layer kind ("conv", "dwconv", "fc").
+const char* layer_kind_name(LayerKind k);
+
+/// A single convolutional workload in the 7D loop-nest form consumed by the
+/// cost model. Spatial input size is derived from output size, stride, and
+/// kernel ("same"-style padding assumed; only footprints matter, not edges).
+struct ConvLayer {
+  std::string name;               ///< human-readable layer name
+  LayerKind kind = LayerKind::kConv;
+  int batch = 1;                  ///< N
+  int out_channels = 1;           ///< K
+  int in_channels = 1;            ///< C (1 for depthwise)
+  int out_h = 1;                  ///< Y'
+  int out_w = 1;                  ///< X'
+  int kernel_h = 1;               ///< R
+  int kernel_w = 1;               ///< S
+  int stride = 1;                 ///< spatial stride (both axes)
+
+  /// Size of the iteration space along dimension `d`.
+  int dim_size(Dim d) const;
+
+  /// Total multiply-accumulate operations.
+  long long macs() const;
+
+  /// Number of input activation elements (N * C_in_effective * Y * X where
+  /// Y/X are derived input spatial extents; depthwise uses K channels).
+  long long input_elems() const;
+
+  /// Number of weight elements (K * C * R * S; depthwise K * R * S).
+  long long weight_elems() const;
+
+  /// Number of output elements (N * K * Y' * X').
+  long long output_elems() const;
+
+  /// Derived input spatial height for a tile of `out_rows` output rows:
+  /// (out_rows - 1) * min(stride, R) + R — distinct rows actually read, not
+  /// the geometric span (when stride > R, skipped rows are never fetched).
+  int input_rows_for(int out_rows) const;
+
+  /// Derived input spatial width for a tile of `out_cols` output columns.
+  int input_cols_for(int out_cols) const;
+
+  /// One-line description, e.g. "conv3_1: conv 128x256 k3 s1 @56x56".
+  std::string to_string() const;
+
+  friend bool operator==(const ConvLayer& a, const ConvLayer& b);
+};
+
+/// Hash over the workload shape (name is ignored): layers with identical
+/// shapes share cost-model results, which NetworkCost exploits.
+struct ConvLayerShapeHash {
+  std::size_t operator()(const ConvLayer& l) const;
+};
+
+/// Shape-only equality (ignores the name), pairing with ConvLayerShapeHash.
+struct ConvLayerShapeEq {
+  bool operator()(const ConvLayer& a, const ConvLayer& b) const;
+};
+
+/// Convenience builders.
+ConvLayer make_conv(std::string name, int in_ch, int out_ch, int kernel,
+                    int stride, int out_hw, int batch = 1);
+ConvLayer make_dwconv(std::string name, int channels, int kernel, int stride,
+                      int out_hw, int batch = 1);
+ConvLayer make_fc(std::string name, int in_features, int out_features,
+                  int batch = 1);
+
+}  // namespace naas::nn

@@ -1,0 +1,264 @@
+#include "nn/model_zoo.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+namespace naas::nn {
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+}  // namespace
+
+Network make_vgg16(int batch) {
+  Network net("VGG16", {});
+  struct Block {
+    int out_ch;
+    int convs;
+    int hw;
+  };
+  // Five conv stages; spatial size halves after each stage's max-pool.
+  const Block blocks[] = {
+      {64, 2, 224}, {128, 2, 112}, {256, 3, 56}, {512, 3, 28}, {512, 3, 14}};
+  int in_ch = 3;
+  int stage = 1;
+  for (const auto& b : blocks) {
+    for (int i = 1; i <= b.convs; ++i) {
+      net.add(make_conv("conv" + std::to_string(stage) + "_" +
+                            std::to_string(i),
+                        in_ch, b.out_ch, 3, 1, b.hw, batch));
+      in_ch = b.out_ch;
+    }
+    ++stage;
+  }
+  net.add(make_fc("fc6", 512 * 7 * 7, 4096, batch));
+  net.add(make_fc("fc7", 4096, 4096, batch));
+  net.add(make_fc("fc8", 4096, 1000, batch));
+  return net;
+}
+
+Network make_resnet50(int batch) {
+  Network net("ResNet50", {});
+  net.add(make_conv("conv1", 3, 64, 7, 2, 112, batch));
+  // (mid channels, out channels, blocks, output spatial size)
+  struct Stage {
+    int mid;
+    int out;
+    int blocks;
+    int hw;
+  };
+  const Stage stages[] = {
+      {64, 256, 3, 56}, {128, 512, 4, 28}, {256, 1024, 6, 14},
+      {512, 2048, 3, 7}};
+  int in_ch = 64;  // after conv1 + maxpool
+  for (int s = 0; s < 4; ++s) {
+    const auto& st = stages[s];
+    for (int b = 0; b < st.blocks; ++b) {
+      const std::string base =
+          "res" + std::to_string(s + 2) + static_cast<char>('a' + b);
+      // The first block of stages 3..5 downsamples spatially inside its
+      // 3x3 conv (ResNet v1.5 convention).
+      const int stride = (b == 0 && s > 0) ? 2 : 1;
+      const int in_hw = (b == 0 && s > 0) ? st.hw * 2 : st.hw;
+      (void)in_hw;
+      net.add(make_conv(base + "_1x1a", in_ch, st.mid, 1, 1,
+                        stride == 2 ? st.hw * 2 : st.hw, batch));
+      net.add(make_conv(base + "_3x3", st.mid, st.mid, 3, stride, st.hw,
+                        batch));
+      net.add(make_conv(base + "_1x1b", st.mid, st.out, 1, 1, st.hw, batch));
+      if (b == 0) {
+        // Projection shortcut matching channel count (and stride).
+        net.add(make_conv(base + "_proj", in_ch, st.out, 1, stride, st.hw,
+                          batch));
+      }
+      in_ch = st.out;
+    }
+  }
+  net.add(make_fc("fc", 2048, 1000, batch));
+  return net;
+}
+
+Network make_unet(int batch) {
+  Network net("UNet", {});
+  const int chans[] = {64, 128, 256, 512, 1024};
+  // Encoder: two 3x3 convs per level at 256/128/64/32/16.
+  int in_ch = 3;
+  for (int lvl = 0; lvl < 5; ++lvl) {
+    const int hw = 256 >> lvl;
+    const int ch = chans[lvl];
+    net.add(make_conv("enc" + std::to_string(lvl + 1) + "_1", in_ch, ch, 3, 1,
+                      hw, batch));
+    net.add(make_conv("enc" + std::to_string(lvl + 1) + "_2", ch, ch, 3, 1,
+                      hw, batch));
+    in_ch = ch;
+  }
+  // Decoder: 2x2 up-convolution then two 3x3 convs on the concatenated
+  // (skip + upsampled) feature map.
+  for (int lvl = 3; lvl >= 0; --lvl) {
+    const int hw = 256 >> lvl;
+    const int ch = chans[lvl];
+    net.add(make_conv("up" + std::to_string(lvl + 1), ch * 2, ch, 2, 1, hw,
+                      batch));
+    net.add(make_conv("dec" + std::to_string(lvl + 1) + "_1", ch * 2, ch, 3, 1,
+                      hw, batch));
+    net.add(make_conv("dec" + std::to_string(lvl + 1) + "_2", ch, ch, 3, 1,
+                      hw, batch));
+  }
+  net.add(make_conv("head", 64, 2, 1, 1, 256, batch));
+  return net;
+}
+
+Network make_mobilenet_v2(int batch) {
+  Network net("MobileNetV2", {});
+  net.add(make_conv("conv0", 3, 32, 3, 2, 112, batch));
+  struct BlockCfg {
+    int expand;  // expansion factor t
+    int out_ch;  // c
+    int repeat;  // n
+    int stride;  // s (applied to the first block of the group)
+  };
+  const BlockCfg cfgs[] = {{1, 16, 1, 1},  {6, 24, 2, 2},  {6, 32, 3, 2},
+                           {6, 64, 4, 2},  {6, 96, 3, 1},  {6, 160, 3, 2},
+                           {6, 320, 1, 1}};
+  int in_ch = 32;
+  int hw = 112;
+  int block_id = 0;
+  for (const auto& cfg : cfgs) {
+    for (int i = 0; i < cfg.repeat; ++i) {
+      const int stride = (i == 0) ? cfg.stride : 1;
+      const int out_hw = (stride == 2) ? hw / 2 : hw;
+      const int mid = in_ch * cfg.expand;
+      const std::string base = "b" + std::to_string(block_id);
+      if (cfg.expand != 1) {
+        net.add(make_conv(base + "_expand", in_ch, mid, 1, 1, hw, batch));
+      }
+      net.add(make_dwconv(base + "_dw", mid, 3, stride, out_hw, batch));
+      net.add(make_conv(base + "_project", mid, cfg.out_ch, 1, 1, out_hw,
+                        batch));
+      in_ch = cfg.out_ch;
+      hw = out_hw;
+      ++block_id;
+    }
+  }
+  net.add(make_conv("conv_last", 320, 1280, 1, 1, 7, batch));
+  net.add(make_fc("fc", 1280, 1000, batch));
+  return net;
+}
+
+Network make_squeezenet(int batch) {
+  Network net("SqueezeNet", {});
+  net.add(make_conv("conv1", 3, 96, 7, 2, 112, batch));
+  struct Fire {
+    int squeeze;
+    int expand;  // per branch; total output is 2 * expand
+    int hw;
+  };
+  // v1.0 fire modules; spatial sizes after the three max-pools.
+  const Fire fires[] = {{16, 64, 56},  {16, 64, 56},  {32, 128, 56},
+                        {32, 128, 28}, {48, 192, 28}, {48, 192, 28},
+                        {64, 256, 28}, {64, 256, 14}};
+  int in_ch = 96;
+  for (int i = 0; i < 8; ++i) {
+    const auto& f = fires[i];
+    const std::string base = "fire" + std::to_string(i + 2);
+    net.add(make_conv(base + "_squeeze", in_ch, f.squeeze, 1, 1, f.hw, batch));
+    net.add(make_conv(base + "_e1x1", f.squeeze, f.expand, 1, 1, f.hw, batch));
+    net.add(make_conv(base + "_e3x3", f.squeeze, f.expand, 3, 1, f.hw, batch));
+    in_ch = f.expand * 2;
+  }
+  net.add(make_conv("conv10", 512, 1000, 1, 1, 14, batch));
+  return net;
+}
+
+Network make_mnasnet(int batch) {
+  Network net("MNasNet", {});
+  net.add(make_conv("conv0", 3, 32, 3, 2, 112, batch));
+  // SepConv: depthwise 3x3 + linear pointwise.
+  net.add(make_dwconv("sep_dw", 32, 3, 1, 112, batch));
+  net.add(make_conv("sep_pw", 32, 16, 1, 1, 112, batch));
+  struct BlockCfg {
+    int expand;
+    int out_ch;
+    int repeat;
+    int stride;
+    int kernel;
+  };
+  // MNasNet-A1 backbone (squeeze-excite omitted; <1% of MACs).
+  const BlockCfg cfgs[] = {{6, 24, 2, 2, 3},  {3, 40, 3, 2, 5},
+                           {6, 80, 4, 2, 3},  {6, 112, 2, 1, 3},
+                           {6, 160, 3, 2, 5}, {6, 320, 1, 1, 3}};
+  int in_ch = 16;
+  int hw = 112;
+  int block_id = 0;
+  for (const auto& cfg : cfgs) {
+    for (int i = 0; i < cfg.repeat; ++i) {
+      const int stride = (i == 0) ? cfg.stride : 1;
+      const int out_hw = (stride == 2) ? hw / 2 : hw;
+      const int mid = in_ch * cfg.expand;
+      const std::string base = "mb" + std::to_string(block_id);
+      net.add(make_conv(base + "_expand", in_ch, mid, 1, 1, hw, batch));
+      net.add(make_dwconv(base + "_dw", mid, cfg.kernel, stride, out_hw,
+                          batch));
+      net.add(make_conv(base + "_project", mid, cfg.out_ch, 1, 1, out_hw,
+                        batch));
+      in_ch = cfg.out_ch;
+      hw = out_hw;
+      ++block_id;
+    }
+  }
+  net.add(make_conv("conv_last", 320, 1280, 1, 1, 7, batch));
+  net.add(make_fc("fc", 1280, 1000, batch));
+  return net;
+}
+
+Network make_cifar_net(int batch) {
+  Network net("CifarNet", {});
+  net.add(make_conv("conv0", 3, 64, 3, 1, 32, batch));
+  struct Stage {
+    int ch;
+    int hw;
+  };
+  const Stage stages[] = {{64, 32}, {128, 16}, {256, 8}};
+  int in_ch = 64;
+  for (int s = 0; s < 3; ++s) {
+    const auto& st = stages[s];
+    for (int b = 0; b < 2; ++b) {
+      const int stride = (b == 0 && s > 0) ? 2 : 1;
+      const std::string base =
+          "s" + std::to_string(s) + "b" + std::to_string(b);
+      net.add(make_conv(base + "_1", in_ch, st.ch, 3, stride, st.hw, batch));
+      net.add(make_conv(base + "_2", st.ch, st.ch, 3, 1, st.hw, batch));
+      in_ch = st.ch;
+    }
+  }
+  net.add(make_fc("fc", 256, 10, batch));
+  return net;
+}
+
+std::vector<Network> large_benchmarks(int batch) {
+  return {make_vgg16(batch), make_resnet50(batch), make_unet(batch)};
+}
+
+std::vector<Network> small_benchmarks(int batch) {
+  return {make_mobilenet_v2(batch), make_squeezenet(batch),
+          make_mnasnet(batch)};
+}
+
+Network make_network(const std::string& name, int batch) {
+  const std::string n = lower(name);
+  if (n == "vgg16" || n == "vgg") return make_vgg16(batch);
+  if (n == "resnet50" || n == "resnet") return make_resnet50(batch);
+  if (n == "unet") return make_unet(batch);
+  if (n == "mobilenetv2" || n == "mobilenet") return make_mobilenet_v2(batch);
+  if (n == "squeezenet") return make_squeezenet(batch);
+  if (n == "mnasnet") return make_mnasnet(batch);
+  if (n == "cifarnet" || n == "cifar") return make_cifar_net(batch);
+  throw std::invalid_argument("unknown network: " + name);
+}
+
+}  // namespace naas::nn

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/network.hpp"
+
+namespace naas::nn {
+
+/// Builders for the six CNN benchmarks used in the paper's evaluation
+/// (Section III-A: VGG16, ResNet50, UNet / MobileNetV2, SqueezeNet,
+/// MNasNet) plus a CIFAR-scale network for the NASAIC comparison
+/// (Table III). All models use batch = 1 as in the paper (Fig. 10).
+///
+/// Shapes follow the original publications; element-wise/pooling layers are
+/// omitted (see Network docs). MNasNet-A1 squeeze-excite blocks are omitted
+/// (their MACs are <1% of the network); this is documented in DESIGN.md.
+
+/// VGG16 at 224x224: 13 convs + 3 FC.
+Network make_vgg16(int batch = 1);
+
+/// ResNet50 at 224x224: conv1 + 16 bottleneck blocks (3/4/6/3) + FC,
+/// including the projection (downsample) convolutions.
+Network make_resnet50(int batch = 1);
+
+/// UNet encoder-decoder at 256x256, channel ladder 64..1024, transposed
+/// convolutions modeled as 2x2 convs at the upsampled resolution.
+Network make_unet(int batch = 1);
+
+/// MobileNetV2 at 224x224 (width 1.0): inverted residual blocks with
+/// expand/depthwise/project structure.
+Network make_mobilenet_v2(int batch = 1);
+
+/// SqueezeNet v1.0 at 224x224: fire modules (squeeze + 1x1/3x3 expands).
+Network make_squeezenet(int batch = 1);
+
+/// MNasNet-A1 at 224x224: MBConv blocks with 3x3/5x5 kernels.
+Network make_mnasnet(int batch = 1);
+
+/// Small CIFAR-10 ResNet-style CNN standing in for NASAIC's searched cell
+/// network in the Table III comparison (substitution documented in
+/// DESIGN.md §3).
+Network make_cifar_net(int batch = 1);
+
+/// The large-model benchmark set of the paper (VGG16, ResNet50, UNet).
+std::vector<Network> large_benchmarks(int batch = 1);
+
+/// The light-weight benchmark set (MobileNetV2, SqueezeNet, MNasNet).
+std::vector<Network> small_benchmarks(int batch = 1);
+
+/// Lookup by case-insensitive name ("vgg16", "resnet50", "unet",
+/// "mobilenetv2", "squeezenet", "mnasnet", "cifarnet"); throws
+/// std::invalid_argument for unknown names.
+Network make_network(const std::string& name, int batch = 1);
+
+}  // namespace naas::nn

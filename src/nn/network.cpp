@@ -1,0 +1,46 @@
+#include "nn/network.hpp"
+
+#include <sstream>
+#include <unordered_map>
+
+namespace naas::nn {
+
+long long Network::total_macs() const {
+  long long total = 0;
+  for (const auto& l : layers_) total += l.macs();
+  return total;
+}
+
+long long Network::total_weights() const {
+  long long total = 0;
+  for (const auto& l : layers_) total += l.weight_elems();
+  return total;
+}
+
+std::vector<std::pair<ConvLayer, int>> Network::unique_layers() const {
+  std::vector<std::pair<ConvLayer, int>> out;
+  std::unordered_map<ConvLayer, std::size_t, ConvLayerShapeHash,
+                     ConvLayerShapeEq>
+      index;
+  for (const auto& l : layers_) {
+    auto it = index.find(l);
+    if (it == index.end()) {
+      index.emplace(l, out.size());
+      out.emplace_back(l, 1);
+    } else {
+      ++out[it->second].second;
+    }
+  }
+  return out;
+}
+
+std::string Network::to_string() const {
+  std::ostringstream os;
+  os << name_ << " (" << layers_.size() << " layers, "
+     << total_macs() / 1000000 << " MMACs, " << total_weights() / 1000
+     << "K weights)\n";
+  for (const auto& l : layers_) os << "  " << l.to_string() << '\n';
+  return os.str();
+}
+
+}  // namespace naas::nn

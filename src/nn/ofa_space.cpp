@@ -1,0 +1,185 @@
+#include "nn/ofa_space.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+namespace naas::nn {
+namespace {
+
+/// Rounds channels to the nearest multiple of 8 (hardware-friendly widths,
+/// as in the OFA reference implementation), minimum 8.
+int round_channels(double ch) {
+  const int rounded = static_cast<int>(std::lround(ch / 8.0)) * 8;
+  return std::max(8, rounded);
+}
+
+}  // namespace
+
+std::uint64_t OfaConfig::fingerprint() const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+  };
+  mix(static_cast<std::uint64_t>(image_size));
+  mix(static_cast<std::uint64_t>(width_idx));
+  for (int d : depths) mix(static_cast<std::uint64_t>(d));
+  int total = std::accumulate(depths.begin(), depths.end(), 0);
+  for (int i = 0; i < total && i < 18; ++i)
+    mix(static_cast<std::uint64_t>(expand_idx[static_cast<std::size_t>(i)]));
+  return h;
+}
+
+std::string OfaConfig::to_string() const {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "ofa-r50[%d,w%.2f,d%d%d%d%d]", image_size,
+                OfaSpace::kWidthMults[static_cast<std::size_t>(width_idx)],
+                depths[0], depths[1], depths[2], depths[3]);
+  return buf;
+}
+
+OfaConfig OfaSpace::full_config() {
+  OfaConfig cfg;
+  cfg.image_size = 224;
+  cfg.width_idx = 2;
+  cfg.depths = kMaxDepths;
+  cfg.expand_idx.fill(2);
+  return cfg;
+}
+
+OfaConfig OfaSpace::resnet50_config() {
+  OfaConfig cfg;
+  cfg.image_size = 224;
+  cfg.width_idx = 2;
+  cfg.depths = {3, 4, 6, 3};
+  cfg.expand_idx.fill(1);  // 0.25, the classic bottleneck ratio
+  return cfg;
+}
+
+OfaConfig OfaSpace::sample(core::Rng& rng) const {
+  OfaConfig cfg;
+  const int steps = (kMaxImage - kMinImage) / kImageStride;
+  cfg.image_size = kMinImage + kImageStride * rng.uniform_int(0, steps);
+  cfg.width_idx = rng.uniform_int(0, 2);
+  for (int s = 0; s < 4; ++s) {
+    cfg.depths[static_cast<std::size_t>(s)] = rng.uniform_int(
+        kMinDepths[static_cast<std::size_t>(s)],
+        kMaxDepths[static_cast<std::size_t>(s)]);
+  }
+  for (auto& e : cfg.expand_idx) e = rng.uniform_int(0, 2);
+  return cfg;
+}
+
+OfaConfig OfaSpace::mutate(const OfaConfig& cfg, core::Rng& rng,
+                           double rate) const {
+  OfaConfig out = cfg;
+  bool changed = false;
+  const int steps = (kMaxImage - kMinImage) / kImageStride;
+  if (rng.bernoulli(rate)) {
+    out.image_size = kMinImage + kImageStride * rng.uniform_int(0, steps);
+    changed = true;
+  }
+  if (rng.bernoulli(rate)) {
+    out.width_idx = rng.uniform_int(0, 2);
+    changed = true;
+  }
+  for (int s = 0; s < 4; ++s) {
+    if (rng.bernoulli(rate)) {
+      out.depths[static_cast<std::size_t>(s)] = rng.uniform_int(
+          kMinDepths[static_cast<std::size_t>(s)],
+          kMaxDepths[static_cast<std::size_t>(s)]);
+      changed = true;
+    }
+  }
+  for (auto& e : out.expand_idx) {
+    if (rng.bernoulli(rate)) {
+      e = rng.uniform_int(0, 2);
+      changed = true;
+    }
+  }
+  if (!changed) {
+    // Guarantee progress: flip one *active* expand ratio (genes beyond
+    // sum(depths) do not affect the decoded subnet or its fingerprint).
+    const int active =
+        std::accumulate(out.depths.begin(), out.depths.end(), 0);
+    auto& e = out.expand_idx[static_cast<std::size_t>(
+        rng.uniform_int(0, std::min(active, 18) - 1))];
+    e = (e + 1 + rng.uniform_int(0, 1)) % 3;
+  }
+  return out;
+}
+
+OfaConfig OfaSpace::crossover(const OfaConfig& a, const OfaConfig& b,
+                              core::Rng& rng) const {
+  OfaConfig out;
+  out.image_size = rng.bernoulli(0.5) ? a.image_size : b.image_size;
+  out.width_idx = rng.bernoulli(0.5) ? a.width_idx : b.width_idx;
+  for (std::size_t s = 0; s < 4; ++s)
+    out.depths[s] = rng.bernoulli(0.5) ? a.depths[s] : b.depths[s];
+  for (std::size_t i = 0; i < 18; ++i)
+    out.expand_idx[i] = rng.bernoulli(0.5) ? a.expand_idx[i] : b.expand_idx[i];
+  return out;
+}
+
+OfaConfig OfaSpace::repair(OfaConfig cfg) const {
+  cfg.image_size = std::clamp(cfg.image_size, kMinImage, kMaxImage);
+  cfg.image_size =
+      kMinImage +
+      kImageStride * ((cfg.image_size - kMinImage) / kImageStride);
+  cfg.width_idx = std::clamp(cfg.width_idx, 0, 2);
+  for (std::size_t s = 0; s < 4; ++s) {
+    cfg.depths[s] = std::clamp(cfg.depths[s], kMinDepths[s], kMaxDepths[s]);
+  }
+  for (auto& e : cfg.expand_idx) e = std::clamp(e, 0, 2);
+  return cfg;
+}
+
+Network OfaSpace::to_network(const OfaConfig& cfg) const {
+  const double w = kWidthMults[static_cast<std::size_t>(cfg.width_idx)];
+  Network net(cfg.to_string(), {});
+  const int stem = round_channels(64 * w);
+  const int conv1_hw = cfg.image_size / 2;
+  net.add(make_conv("conv1", 3, stem, 7, 2, conv1_hw));
+
+  const std::array<int, 4> base_out{256, 512, 1024, 2048};
+  int in_ch = stem;
+  int hw = cfg.image_size / 4;  // after the stem max-pool
+  int block_index = 0;
+  for (int s = 0; s < 4; ++s) {
+    const int out_ch = round_channels(base_out[static_cast<std::size_t>(s)] * w);
+    for (int b = 0; b < cfg.depths[static_cast<std::size_t>(s)]; ++b) {
+      const int stride = (b == 0 && s > 0) ? 2 : 1;
+      if (stride == 2) hw /= 2;
+      const double ratio = kExpandRatios[static_cast<std::size_t>(
+          cfg.expand_idx[static_cast<std::size_t>(
+              std::min(block_index, 17))])];
+      const int mid = round_channels(out_ch * ratio);
+      const std::string base =
+          "s" + std::to_string(s + 1) + "b" + std::to_string(b);
+      net.add(make_conv(base + "_1x1a", in_ch, mid, 1, 1,
+                        stride == 2 ? hw * 2 : hw));
+      net.add(make_conv(base + "_3x3", mid, mid, 3, stride, hw));
+      net.add(make_conv(base + "_1x1b", mid, out_ch, 1, 1, hw));
+      if (b == 0) {
+        net.add(make_conv(base + "_proj", in_ch, out_ch, 1, stride, hw));
+      }
+      in_ch = out_ch;
+      ++block_index;
+    }
+  }
+  net.add(make_fc("fc", in_ch, 1000));
+  return net;
+}
+
+double OfaSpace::log10_space_size() const {
+  // images * widths * depth combos * expands^18
+  const double images = (kMaxImage - kMinImage) / kImageStride + 1;
+  double combos = images * 3.0;
+  for (std::size_t s = 0; s < 4; ++s)
+    combos *= kMaxDepths[s] - kMinDepths[s] + 1;
+  return std::log10(combos) + 18.0 * std::log10(3.0);
+}
+
+}  // namespace naas::nn

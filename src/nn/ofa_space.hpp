@@ -1,0 +1,76 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "nn/network.hpp"
+
+namespace naas::nn {
+
+/// One subnet choice in the Once-For-All ResNet-50 design space used for the
+/// paper's NAS integration (Section II-C / III-A-c):
+///  - 3 width multipliers {0.65, 0.8, 1.0},
+///  - up to 18 residual blocks (per-stage depths within [2..max],
+///    stage maxima {4, 5, 6, 3}),
+///  - 3 bottleneck reduction ratios {0.2, 0.25, 0.35} per block,
+///  - input image size 128..256 at stride 16.
+struct OfaConfig {
+  int image_size = 224;             ///< one of 128,144,...,256
+  int width_idx = 2;                ///< index into kWidthMults
+  std::array<int, 4> depths{3, 4, 6, 3};  ///< blocks per stage
+  std::array<int, 18> expand_idx{};  ///< per-block index into kExpandRatios
+                                     ///< (only the first sum(depths) used)
+
+  /// Deterministic 64-bit fingerprint (for caching and predictor jitter).
+  std::uint64_t fingerprint() const;
+
+  /// Short description like "ofa-r50[224,w1.00,d3463,e...]".
+  std::string to_string() const;
+};
+
+/// The OFA-ResNet50 space: bounds, sampling, mutation, crossover, and
+/// materialization of a config into a Network for the cost model.
+class OfaSpace {
+ public:
+  static constexpr std::array<double, 3> kWidthMults{0.65, 0.8, 1.0};
+  static constexpr std::array<double, 3> kExpandRatios{0.2, 0.25, 0.35};
+  static constexpr std::array<int, 4> kMaxDepths{4, 5, 6, 3};
+  static constexpr std::array<int, 4> kMinDepths{2, 2, 2, 2};
+  static constexpr int kMinImage = 128;
+  static constexpr int kMaxImage = 256;
+  static constexpr int kImageStride = 16;
+
+  /// The full-capacity configuration (maximum depth/width/expand at 224).
+  static OfaConfig full_config();
+
+  /// A configuration approximating the standard ResNet-50 (depths 3/4/6/3,
+  /// expand 0.25, width 1.0, 224x224) for baseline comparisons.
+  static OfaConfig resnet50_config();
+
+  /// Uniformly random valid configuration.
+  OfaConfig sample(core::Rng& rng) const;
+
+  /// Returns a copy of `cfg` with each gene resampled with probability
+  /// `rate` (at least one gene always changes).
+  OfaConfig mutate(const OfaConfig& cfg, core::Rng& rng,
+                   double rate = 0.15) const;
+
+  /// Uniform crossover of two parents.
+  OfaConfig crossover(const OfaConfig& a, const OfaConfig& b,
+                      core::Rng& rng) const;
+
+  /// Clamps all genes into their valid ranges.
+  OfaConfig repair(OfaConfig cfg) const;
+
+  /// Materializes the subnet as a workload Network (conv1, bottleneck
+  /// blocks with projection shortcuts, FC head).
+  Network to_network(const OfaConfig& cfg) const;
+
+  /// log10 of the design-space cardinality (the paper quotes ~1e13).
+  double log10_space_size() const;
+};
+
+}  // namespace naas::nn

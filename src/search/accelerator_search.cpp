@@ -1,0 +1,157 @@
+#include "search/accelerator_search.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "core/stats.hpp"
+#include "core/timer.hpp"
+#include "search/cma_es.hpp"
+
+namespace naas::search {
+namespace {
+
+std::uint64_t cache_key(const arch::ArchConfig& arch,
+                        const nn::ConvLayer& layer) {
+  const std::uint64_t a = arch_fingerprint(arch);
+  const std::uint64_t l = nn::ConvLayerShapeHash{}(layer);
+  return a ^ (l * 0x9e3779b97f4a7c15ULL + 0x517cc1b727220a95ULL);
+}
+
+}  // namespace
+
+ArchEvaluator::ArchEvaluator(const cost::CostModel& model,
+                             MappingSearchOptions mapping)
+    : model_(model), mapping_(std::move(mapping)) {}
+
+const MappingSearchResult& ArchEvaluator::best_mapping(
+    const arch::ArchConfig& arch, const nn::ConvLayer& layer) {
+  const std::uint64_t key = cache_key(arch, layer);
+  auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    MappingSearchOptions opts = mapping_;
+    // Layer-dependent seed keeps runs deterministic while decorrelating
+    // searches across layers.
+    opts.seed = mapping_.seed ^ nn::ConvLayerShapeHash{}(layer);
+    MappingSearchResult res = search_mapping(model_, arch, layer, opts);
+    cost_evaluations_ += res.evaluations;
+    ++mapping_searches_;
+    it = cache_.emplace(key, std::move(res)).first;
+  }
+  return it->second;
+}
+
+cost::NetworkCost ArchEvaluator::evaluate(const arch::ArchConfig& arch,
+                                          const nn::Network& net) {
+  return cost::evaluate_network(
+      model_, arch, net,
+      [this](const arch::ArchConfig& a, const nn::ConvLayer& l) {
+        return best_mapping(a, l).best;
+      });
+}
+
+double ArchEvaluator::geomean_edp(const arch::ArchConfig& arch,
+                                  const std::vector<nn::Network>& benchmarks) {
+  std::vector<double> edps;
+  edps.reserve(benchmarks.size());
+  for (const auto& net : benchmarks) {
+    const auto nc = evaluate(arch, net);
+    if (!nc.legal) return std::numeric_limits<double>::infinity();
+    edps.push_back(nc.edp);
+  }
+  return core::geomean(edps);
+}
+
+NaasResult run_naas(const cost::CostModel& model, const NaasOptions& options,
+                    const std::vector<nn::Network>& benchmarks) {
+  if (benchmarks.empty())
+    throw std::invalid_argument("run_naas: no benchmark networks");
+
+  core::Timer timer;
+  NaasResult result;
+  result.best_geomean_edp = std::numeric_limits<double>::infinity();
+
+  const HwEncodingSpec hw = make_hw_spec(
+      options.resources, options.hw_encoding, options.search_connectivity);
+
+  ArchEvaluator evaluator(model, options.mapping);
+
+  CmaEsOptions cma_opts;
+  cma_opts.dim = hw.genome_size();
+  cma_opts.population = options.population;
+  cma_opts.seed = options.seed;
+  CmaEs cma(cma_opts);
+
+  const auto is_valid = [&hw](const std::vector<double>& genome) {
+    return hw.valid(genome);
+  };
+
+  // Warm start: evaluate the seed designs (reference baseline + any user
+  // seeds) so the returned best is never worse than the known design run
+  // with NAAS's mapping search.
+  {
+    std::vector<arch::ArchConfig> seeds = options.seed_designs;
+    if (options.seed_baseline) {
+      try {
+        seeds.push_back(arch::baseline_for(options.resources));
+      } catch (const std::invalid_argument&) {
+        // Custom envelope without a published baseline: nothing to seed.
+      }
+    }
+    for (auto seed : seeds) {
+      if (!options.search_connectivity &&
+          !(seed.num_array_dims == 2 &&
+            seed.parallel_dims[0] == hw.fixed_parallel_dims[0] &&
+            seed.parallel_dims[1] == hw.fixed_parallel_dims[1])) {
+        continue;  // sizing-only arm may not adopt foreign connectivity
+      }
+      if (!options.resources.allows(seed)) continue;
+      const double edp = evaluator.geomean_edp(seed, benchmarks);
+      if (std::isfinite(edp) && edp < result.best_geomean_edp) {
+        result.best_geomean_edp = edp;
+        result.best_arch = seed;
+      }
+    }
+  }
+
+  for (int iter = 0; iter < options.iterations; ++iter) {
+    const auto population = cma.ask(is_valid);
+    std::vector<double> fitness;
+    std::vector<double> finite_edps;
+    fitness.reserve(population.size());
+    for (const auto& genome : population) {
+      const arch::ArchConfig cfg = hw.decode(genome);
+      double edp = std::numeric_limits<double>::infinity();
+      if (options.resources.allows(cfg)) {
+        edp = evaluator.geomean_edp(cfg, benchmarks);
+      }
+      fitness.push_back(edp);
+      if (std::isfinite(edp)) {
+        finite_edps.push_back(edp);
+        if (edp < result.best_geomean_edp) {
+          result.best_geomean_edp = edp;
+          result.best_arch = cfg;
+        }
+      }
+    }
+    cma.tell(population, fitness);
+    result.population_mean_edp.push_back(core::mean(finite_edps));
+    result.population_best_edp.push_back(
+        finite_edps.empty()
+            ? std::numeric_limits<double>::infinity()
+            : *std::min_element(finite_edps.begin(), finite_edps.end()));
+  }
+
+  if (std::isfinite(result.best_geomean_edp)) {
+    for (const auto& net : benchmarks)
+      result.best_networks.push_back(
+          evaluator.evaluate(result.best_arch, net));
+  }
+  result.cost_evaluations = evaluator.cost_evaluations();
+  result.mapping_searches = evaluator.mapping_searches();
+  result.wall_seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace naas::search

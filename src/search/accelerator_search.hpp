@@ -1,0 +1,88 @@
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "arch/resources.hpp"
+#include "cost/network_cost.hpp"
+#include "nn/network.hpp"
+#include "search/mapping_search.hpp"
+
+namespace naas::search {
+
+/// Evaluates accelerator candidates on benchmark networks, running the
+/// inner per-layer mapping search and memoizing results by
+/// (arch fingerprint, layer shape). The cache is what makes the two-level
+/// loop affordable: repeated blocks, repeated candidates, and baseline
+/// re-evaluations all hit it.
+class ArchEvaluator {
+ public:
+  ArchEvaluator(const cost::CostModel& model, MappingSearchOptions mapping);
+
+  /// Network cost using the best searched mapping for each unique layer.
+  cost::NetworkCost evaluate(const arch::ArchConfig& arch,
+                             const nn::Network& net);
+
+  /// Geometric mean of per-network EDP — the NAAS reward when searching
+  /// one accelerator for a benchmark *set* ("NAAS tries to provide a
+  /// balanced performance on all benchmarks by using geomean EDP as
+  /// reward", Section III-B). +inf if any network is unmappable.
+  double geomean_edp(const arch::ArchConfig& arch,
+                     const std::vector<nn::Network>& benchmarks);
+
+  /// Best searched mapping for one layer (cached).
+  const MappingSearchResult& best_mapping(const arch::ArchConfig& arch,
+                                          const nn::ConvLayer& layer);
+
+  long long cost_evaluations() const { return cost_evaluations_; }
+  long long mapping_searches() const { return mapping_searches_; }
+
+ private:
+  const cost::CostModel& model_;
+  MappingSearchOptions mapping_;
+  std::unordered_map<std::uint64_t, MappingSearchResult> cache_;
+  long long cost_evaluations_ = 0;
+  long long mapping_searches_ = 0;
+};
+
+/// Configuration of the outer accelerator-architecture search loop.
+struct NaasOptions {
+  arch::ResourceConstraint resources;
+  int population = 16;
+  int iterations = 15;
+  std::uint64_t seed = 1;
+  OrderEncoding hw_encoding = OrderEncoding::kImportance;
+  /// false reproduces the sizing-only ablation (Fig. 8).
+  bool search_connectivity = true;
+  MappingSearchOptions mapping;
+  /// Warm-start designs evaluated before the evolution loop (best-ever
+  /// tracking only; they do not enter the CMA population statistics).
+  /// Standard DSE practice: the known reference design for the envelope is
+  /// always worth one evaluation.
+  std::vector<arch::ArchConfig> seed_designs;
+  /// Additionally seed the envelope's published baseline preset when one
+  /// exists (EdgeTPU / NVDLA / Eyeriss / ShiDianNao). Disable for search-
+  /// quality ablations (Fig. 9).
+  bool seed_baseline = true;
+};
+
+/// Outcome of a NAAS accelerator+mapping co-search.
+struct NaasResult {
+  arch::ArchConfig best_arch;
+  double best_geomean_edp = 0;
+  std::vector<cost::NetworkCost> best_networks;  ///< costs on best_arch
+  std::vector<double> population_mean_edp;  ///< per iteration (Fig. 4)
+  std::vector<double> population_best_edp;  ///< per iteration
+  long long cost_evaluations = 0;
+  long long mapping_searches = 0;
+  double wall_seconds = 0;
+};
+
+/// Runs the NAAS outer evolution loop (Fig. 1): sample accelerator
+/// candidates within the resource envelope, score each by geomean EDP over
+/// `benchmarks` (with the inner mapping search per layer), update the CMA
+/// distribution, and return the fittest design.
+NaasResult run_naas(const cost::CostModel& model, const NaasOptions& options,
+                    const std::vector<nn::Network>& benchmarks);
+
+}  // namespace naas::search

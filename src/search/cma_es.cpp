@@ -1,0 +1,164 @@
+#include "search/cma_es.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace naas::search {
+
+CmaEs::CmaEs(const CmaEsOptions& options)
+    : opts_(options),
+      rng_(options.seed),
+      dim_(options.dim),
+      mu_(options.parents > 0 ? options.parents
+                              : std::max(1, options.population / 2)),
+      mean_(static_cast<std::size_t>(options.dim), 0.5),
+      sigma_(options.sigma0),
+      cov_(core::Matrix::identity(options.dim)),
+      chol_(core::Matrix::identity(options.dim)),
+      path_sigma_(static_cast<std::size_t>(options.dim), 0.0),
+      path_c_(static_cast<std::size_t>(options.dim), 0.0) {
+  assert(dim_ >= 1 && opts_.population >= 2);
+  // Standard log-rank recombination weights.
+  weights_.resize(static_cast<std::size_t>(mu_));
+  for (int i = 0; i < mu_; ++i)
+    weights_[static_cast<std::size_t>(i)] =
+        std::log(mu_ + 0.5) - std::log(i + 1.0);
+  const double wsum =
+      std::accumulate(weights_.begin(), weights_.end(), 0.0);
+  for (auto& w : weights_) w /= wsum;
+  double w2 = 0.0;
+  for (const auto& w : weights_) w2 += w * w;
+  mu_eff_ = 1.0 / w2;
+
+  const double n = dim_;
+  c_sigma_ = (mu_eff_ + 2.0) / (n + mu_eff_ + 5.0);
+  d_sigma_ = 1.0 + 2.0 * std::max(0.0, std::sqrt((mu_eff_ - 1.0) / (n + 1.0)) -
+                                           1.0) +
+             c_sigma_;
+  c_c_ = (4.0 + mu_eff_ / n) / (n + 4.0 + 2.0 * mu_eff_ / n);
+  c_1_ = 2.0 / ((n + 1.3) * (n + 1.3) + mu_eff_);
+  c_mu_ = std::min(1.0 - c_1_, 2.0 * (mu_eff_ - 2.0 + 1.0 / mu_eff_) /
+                                   ((n + 2.0) * (n + 2.0) + mu_eff_));
+  chi_n_ = std::sqrt(n) * (1.0 - 1.0 / (4.0 * n) + 1.0 / (21.0 * n * n));
+}
+
+std::vector<double> CmaEs::sample_one() {
+  const std::vector<double> z = rng_.normal_vector(dim_);
+  std::vector<double> y = chol_.matvec(z);
+  std::vector<double> x(static_cast<std::size_t>(dim_));
+  for (int i = 0; i < dim_; ++i) {
+    const auto s = static_cast<std::size_t>(i);
+    x[s] = std::clamp(mean_[s] + sigma_ * y[s], 0.0, 1.0);
+  }
+  return x;
+}
+
+std::vector<std::vector<double>> CmaEs::ask(
+    const std::function<bool(const std::vector<double>&)>& valid) {
+  std::vector<std::vector<double>> pop;
+  pop.reserve(static_cast<std::size_t>(opts_.population));
+  for (int k = 0; k < opts_.population; ++k) {
+    std::vector<double> x = sample_one();
+    if (valid) {
+      for (int attempt = 0; attempt < opts_.max_resample && !valid(x);
+           ++attempt) {
+        x = sample_one();
+      }
+    }
+    pop.push_back(std::move(x));
+  }
+  return pop;
+}
+
+void CmaEs::tell(const std::vector<std::vector<double>>& population,
+                 const std::vector<double>& fitness) {
+  assert(population.size() == fitness.size());
+  const int lambda = static_cast<int>(population.size());
+  const int mu = std::min(mu_, lambda);
+
+  // Rank candidates by fitness (ascending; lower is better).
+  std::vector<int> order(static_cast<std::size_t>(lambda));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return fitness[static_cast<std::size_t>(a)] <
+           fitness[static_cast<std::size_t>(b)];
+  });
+
+  const std::vector<double> old_mean = mean_;
+
+  // Weighted recombination of the mu best.
+  std::vector<double> new_mean(static_cast<std::size_t>(dim_), 0.0);
+  for (int i = 0; i < mu; ++i) {
+    const auto& x = population[static_cast<std::size_t>(
+        order[static_cast<std::size_t>(i)])];
+    const double w = weights_[static_cast<std::size_t>(i)];
+    for (int d = 0; d < dim_; ++d)
+      new_mean[static_cast<std::size_t>(d)] +=
+          w * x[static_cast<std::size_t>(d)];
+  }
+  mean_ = new_mean;
+
+  // Mean displacement in sigma-normalized coordinates.
+  std::vector<double> y_w(static_cast<std::size_t>(dim_));
+  for (int d = 0; d < dim_; ++d) {
+    const auto s = static_cast<std::size_t>(d);
+    y_w[s] = (mean_[s] - old_mean[s]) / sigma_;
+  }
+
+  // z_w = L^-1 y_w approximates C^(-1/2) y_w (Cholesky CMA-ES variant).
+  std::vector<double> z_w(static_cast<std::size_t>(dim_), 0.0);
+  for (int r = 0; r < dim_; ++r) {
+    double acc = y_w[static_cast<std::size_t>(r)];
+    for (int c = 0; c < r; ++c)
+      acc -= chol_(r, c) * z_w[static_cast<std::size_t>(c)];
+    z_w[static_cast<std::size_t>(r)] = acc / chol_(r, r);
+  }
+
+  // Step-size path and CSA update.
+  const double cs_coef = std::sqrt(c_sigma_ * (2.0 - c_sigma_) * mu_eff_);
+  double ps_norm2 = 0.0;
+  for (int d = 0; d < dim_; ++d) {
+    const auto s = static_cast<std::size_t>(d);
+    path_sigma_[s] = (1.0 - c_sigma_) * path_sigma_[s] + cs_coef * z_w[s];
+    ps_norm2 += path_sigma_[s] * path_sigma_[s];
+  }
+  const double ps_norm = std::sqrt(ps_norm2);
+  sigma_ *= std::exp((c_sigma_ / d_sigma_) * (ps_norm / chi_n_ - 1.0));
+  sigma_ = std::clamp(sigma_, 1e-8, 1.0);
+
+  // Covariance path (with stall indicator h_sigma).
+  const double h_sigma =
+      ps_norm / std::sqrt(1.0 - std::pow(1.0 - c_sigma_,
+                                         2.0 * (generation_ + 1))) <
+              (1.4 + 2.0 / (dim_ + 1.0)) * chi_n_
+          ? 1.0
+          : 0.0;
+  const double cc_coef = std::sqrt(c_c_ * (2.0 - c_c_) * mu_eff_);
+  for (int d = 0; d < dim_; ++d) {
+    const auto s = static_cast<std::size_t>(d);
+    path_c_[s] = (1.0 - c_c_) * path_c_[s] + h_sigma * cc_coef * y_w[s];
+  }
+
+  // Covariance update: decay + rank-one (path) + rank-mu (parents).
+  const double c1a =
+      c_1_ * (1.0 - (1.0 - h_sigma * h_sigma) * c_c_ * (2.0 - c_c_));
+  cov_.scale(1.0 - c1a - c_mu_);
+  cov_.add_outer(path_c_, c_1_);
+  for (int i = 0; i < mu; ++i) {
+    const auto& x = population[static_cast<std::size_t>(
+        order[static_cast<std::size_t>(i)])];
+    std::vector<double> y_i(static_cast<std::size_t>(dim_));
+    for (int d = 0; d < dim_; ++d) {
+      const auto s = static_cast<std::size_t>(d);
+      y_i[s] = (x[s] - old_mean[s]) / sigma_;
+    }
+    cov_.add_outer(y_i, c_mu_ * weights_[static_cast<std::size_t>(i)]);
+  }
+  cov_.symmetrize();
+  chol_ = cov_.cholesky();
+  ++generation_;
+}
+
+}  // namespace naas::search

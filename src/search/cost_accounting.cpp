@@ -1,0 +1,17 @@
+#include "search/cost_accounting.hpp"
+
+#include <cstdio>
+
+namespace naas::search {
+
+std::string MeasuredSearchCost::to_string() const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "%lld cost-model evals, %lld mapping searches, %.2fs wall "
+                "(%.0f evals/s)",
+                cost_model_evaluations, mapping_searches, wall_seconds,
+                throughput());
+  return buf;
+}
+
+}  // namespace naas::search

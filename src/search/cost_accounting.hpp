@@ -1,0 +1,56 @@
+#pragma once
+
+#include <string>
+
+namespace naas::search {
+
+/// Search-cost accounting for the Table IV comparison. The paper's
+/// constants: AWS on-demand P3.16xlarge ~ $75 per GPU-day, CO2 ~ 7.5 lbs
+/// per GPU-day (Strubell et al.); NASAIC trains 500 candidate networks from
+/// scratch (12 GPU-days each) per scenario; NHAS amortizes supernet
+/// training (12 Gd) but retrains each deployment (16 Gd) and searches 4 Gd;
+/// NAAS piggybacks on a one-time OFA supernet (50 Gd) and its own search is
+/// CPU-scale.
+struct SearchCostModel {
+  static constexpr double kAwsDollarsPerGpuDay = 75.0;
+  static constexpr double kCo2LbsPerGpuDay = 7.5;
+  static constexpr double kOfaSupernetGpuDays = 50.0;  // one-time, shared
+
+  /// NASAIC total GPU-days for N deployment scenarios.
+  static double nasaic_gpu_days(int n) { return 6000.0 * n + 16.0 * n; }
+
+  /// NHAS total GPU-days for N deployment scenarios.
+  static double nhas_gpu_days(int n) { return 12.0 + 20.0 * n; }
+
+  /// NAAS co-search GPU-days for N scenarios given one measured scenario's
+  /// wall-clock seconds (our search runs on CPU; one wall-day of this
+  /// process is conservatively billed as one GPU-day).
+  static double naas_gpu_days(int n, double measured_seconds_per_scenario) {
+    return kOfaSupernetGpuDays +
+           n * measured_seconds_per_scenario / 86400.0;
+  }
+
+  static double aws_cost(double gpu_days) {
+    return gpu_days * kAwsDollarsPerGpuDay;
+  }
+  static double co2_lbs(double gpu_days) {
+    return gpu_days * kCo2LbsPerGpuDay;
+  }
+};
+
+/// Counters accumulated while running searches (reported in Table IV and
+/// EXPERIMENTS.md alongside the projections).
+struct MeasuredSearchCost {
+  long long cost_model_evaluations = 0;
+  long long mapping_searches = 0;
+  double wall_seconds = 0;
+
+  /// Evaluations per second (0 if no time elapsed).
+  double throughput() const {
+    return wall_seconds > 0 ? cost_model_evaluations / wall_seconds : 0;
+  }
+
+  std::string to_string() const;
+};
+
+}  // namespace naas::search

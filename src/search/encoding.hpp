@@ -1,0 +1,116 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "arch/accelerator.hpp"
+#include "arch/presets.hpp"
+#include "arch/resources.hpp"
+#include "mapping/mapping.hpp"
+#include "nn/layer.hpp"
+
+namespace naas::search {
+
+/// How non-numerical choices (loop orders, parallel dims) are encoded in
+/// the optimization vector (Section II-A-b / Fig. 9 ablation):
+///  - kImportance: one continuous importance value per dimension; decoding
+///    sorts by importance (descending) — order/choice changes smoothly with
+///    the underlying values, which CMA-ES can exploit.
+///  - kIndex: a single continuous gene mapped to the index of the
+///    enumerated permutation/arrangement — neighboring genome values can
+///    decode to unrelated orders, which is exactly why the paper's ablation
+///    shows it optimizes poorly.
+enum class OrderEncoding { kImportance, kIndex };
+
+/// The six searchable dimensions (K, C, Y', X', R, S) in canonical order.
+/// N (batch) is pinned outermost: all benchmarks run batch = 1.
+constexpr std::array<nn::Dim, 6> searchable_dims() {
+  return {nn::Dim::kK, nn::Dim::kC, nn::Dim::kYp,
+          nn::Dim::kXp, nn::Dim::kR, nn::Dim::kS};
+}
+
+/// Decodes six importance values into a full 7-dim loop order: dims sorted
+/// by importance descending (highest importance = outermost loop, as in
+/// Fig. 3 right), ties broken by canonical dim order, N prepended.
+mapping::LoopOrder order_from_importance(const std::array<double, 6>& imp);
+
+/// Decodes a single gene in [0,1] into one of the 720 permutations of the
+/// six searchable dims (Lehmer code), N prepended.
+mapping::LoopOrder order_from_index(double gene);
+
+/// Decodes six importance values into the top-`k` parallel dims (Fig. 3
+/// left): the k dims with the largest importance, in importance order.
+std::vector<nn::Dim> parallel_from_importance(const std::array<double, 6>& imp,
+                                              int k);
+
+/// Decodes a single gene into one of the P(6,k) ordered arrangements of
+/// parallel dims (mixed-radix index).
+std::vector<nn::Dim> parallel_from_index(double gene, int k);
+
+/// Stable fingerprint of an accelerator config (used as a cache key for
+/// per-(arch, layer) mapping-search memoization).
+std::uint64_t arch_fingerprint(const arch::ArchConfig& cfg);
+
+/// Hardware encoding vector spec (Fig. 2 top): architectural sizing genes
+/// plus connectivity genes, decoded against a resource envelope.
+struct HwEncodingSpec {
+  arch::ResourceConstraint resources;
+  OrderEncoding parallel_encoding = OrderEncoding::kImportance;
+  /// When false, reproduces the "architectural sizing only" baselines of
+  /// Fig. 8 / NHAS [12]: the connectivity is pinned to
+  /// `fixed_parallel_dims` (the given accelerator's design — NHAS sizes an
+  /// existing design, it does not re-wire it) and the genome holds only
+  /// sizing genes (#PEs, aspect ratio, buffers, bandwidth).
+  bool search_connectivity = true;
+  /// Connectivity used by the sizing-only mode (default NVDLA-style C x K).
+  std::array<nn::Dim, 2> fixed_parallel_dims{nn::Dim::kC, nn::Dim::kK};
+
+  /// Number of genes.
+  int genome_size() const;
+
+  /// Decodes a genome (values in [0,1]) into an accelerator config. The
+  /// result is structurally valid but may exceed the resource envelope;
+  /// pair with `valid()` for CMA-ES rejection sampling.
+  arch::ArchConfig decode(const std::vector<double>& genome) const;
+
+  /// True if decode(genome) fits the resource envelope.
+  bool valid(const std::vector<double>& genome) const;
+};
+
+/// Builds the hardware encoding spec for an envelope. When
+/// `search_connectivity` is false, the fixed connectivity is taken from the
+/// envelope's published baseline when one exists (NHAS sizes the *given*
+/// design — Eyeriss resources mean an R x Y' array), else NVDLA-style C x K.
+HwEncodingSpec make_hw_spec(const arch::ResourceConstraint& resources,
+                            OrderEncoding parallel_encoding,
+                            bool search_connectivity);
+
+/// Mapping encoding vector spec (Fig. 2 bottom): per temporal level a loop
+/// order and per-dim tiling ratios, plus the PE-internal (register) order.
+struct MapEncodingSpec {
+  OrderEncoding order_encoding = OrderEncoding::kImportance;
+  /// When false, loop orders are pinned to the canonical order of
+  /// `fixed_dataflow` and only tiling ratios are searched (the mapping
+  /// freedom prior sizing-only frameworks had).
+  bool search_order = true;
+  arch::Dataflow fixed_dataflow = arch::Dataflow::kWeightStationary;
+  /// Grow decoded tiles to the buffer capacities (gene-prioritized
+  /// grow_to_fit). Disable only for the design-choice ablation bench —
+  /// raw tile ratios leave most of the genome in the undersized-tile
+  /// region and search quality collapses measurably.
+  bool grow_tiles = true;
+
+  /// Number of genes.
+  int genome_size() const;
+
+  /// Decodes a genome into a legal mapping for (arch, layer): tiling genes
+  /// are log-scale ratios of the dimension bounds ("scaling ratio rather
+  /// than the absolute tiling value", Section II-B), and the result is
+  /// capacity-repaired so every decoded mapping is evaluable.
+  mapping::Mapping decode(const std::vector<double>& genome,
+                          const arch::ArchConfig& arch,
+                          const nn::ConvLayer& layer) const;
+};
+
+}  // namespace naas::search

@@ -1,0 +1,55 @@
+#include "search/mapping_search.hpp"
+
+#include <limits>
+
+#include "mapping/canonical.hpp"
+#include "search/cma_es.hpp"
+
+namespace naas::search {
+
+MappingSearchResult search_mapping(const cost::CostModel& model,
+                                   const arch::ArchConfig& arch,
+                                   const nn::ConvLayer& layer,
+                                   const MappingSearchOptions& options) {
+  MappingSearchResult result;
+  result.best_edp = std::numeric_limits<double>::infinity();
+
+  auto consider = [&](const mapping::Mapping& m) {
+    const cost::CostReport rep = model.evaluate(arch, layer, m);
+    ++result.evaluations;
+    if (rep.legal && rep.edp < result.best_edp) {
+      result.best_edp = rep.edp;
+      result.best = m;
+      result.report = rep;
+    }
+    return rep.legal ? rep.edp : std::numeric_limits<double>::infinity();
+  };
+
+  if (options.seed_canonical) {
+    for (arch::Dataflow df : {arch::Dataflow::kWeightStationary,
+                              arch::Dataflow::kOutputStationary,
+                              arch::Dataflow::kRowStationary}) {
+      consider(mapping::canonical_mapping(arch, layer, df));
+    }
+  }
+
+  CmaEsOptions cma_opts;
+  cma_opts.dim = options.encoding.genome_size();
+  cma_opts.population = options.population;
+  cma_opts.seed = options.seed;
+  CmaEs cma(cma_opts);
+
+  for (int iter = 0; iter < options.iterations; ++iter) {
+    const auto population = cma.ask();
+    std::vector<double> fitness;
+    fitness.reserve(population.size());
+    for (const auto& genome : population) {
+      fitness.push_back(
+          consider(options.encoding.decode(genome, arch, layer)));
+    }
+    cma.tell(population, fitness);
+  }
+  return result;
+}
+
+}  // namespace naas::search

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+
+#include "arch/accelerator.hpp"
+#include "cost/cost_model.hpp"
+#include "mapping/mapping.hpp"
+#include "nn/layer.hpp"
+#include "search/encoding.hpp"
+
+namespace naas::search {
+
+/// Budget and configuration of the per-layer compiler-mapping search
+/// (Section II-B): a CMA-ES loop over the mapping encoding vector.
+struct MappingSearchOptions {
+  int population = 12;
+  int iterations = 10;
+  std::uint64_t seed = 1;
+  MapEncodingSpec encoding;
+  /// Also evaluate the three canonical dataflow mappings up front and keep
+  /// whichever candidate (searched or canonical) is best. Models a compiler
+  /// that always considers its preset dataflows; disable to measure raw
+  /// search quality (Fig. 9's encoding ablation does).
+  bool seed_canonical = true;
+};
+
+/// Outcome of one per-layer mapping search.
+struct MappingSearchResult {
+  mapping::Mapping best;
+  cost::CostReport report;     ///< cost of `best`
+  double best_edp = 0;
+  long long evaluations = 0;   ///< cost-model calls consumed
+};
+
+/// Searches the mapping space of `layer` on `arch`, returning the best
+/// (lowest-EDP) mapping found. Deterministic for a fixed seed.
+MappingSearchResult search_mapping(const cost::CostModel& model,
+                                   const arch::ArchConfig& arch,
+                                   const nn::ConvLayer& layer,
+                                   const MappingSearchOptions& options);
+
+}  // namespace naas::search

@@ -1,0 +1,72 @@
+#include "search/random_search.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "core/rng.hpp"
+#include "core/stats.hpp"
+#include "core/timer.hpp"
+
+namespace naas::search {
+
+NaasResult run_random_search(const cost::CostModel& model,
+                             const NaasOptions& options,
+                             const std::vector<nn::Network>& benchmarks) {
+  if (benchmarks.empty())
+    throw std::invalid_argument("run_random_search: no benchmark networks");
+
+  core::Timer timer;
+  NaasResult result;
+  result.best_geomean_edp = std::numeric_limits<double>::infinity();
+
+  const HwEncodingSpec hw = make_hw_spec(
+      options.resources, options.hw_encoding, options.search_connectivity);
+
+  ArchEvaluator evaluator(model, options.mapping);
+  core::Rng rng(options.seed);
+  const int dim = hw.genome_size();
+
+  auto sample_valid = [&]() {
+    std::vector<double> genome(static_cast<std::size_t>(dim));
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      for (auto& g : genome) g = rng.uniform();
+      if (hw.valid(genome)) break;
+    }
+    return genome;
+  };
+
+  for (int iter = 0; iter < options.iterations; ++iter) {
+    std::vector<double> finite_edps;
+    for (int k = 0; k < options.population; ++k) {
+      const auto genome = sample_valid();
+      const arch::ArchConfig cfg = hw.decode(genome);
+      if (!options.resources.allows(cfg)) continue;
+      const double edp = evaluator.geomean_edp(cfg, benchmarks);
+      if (!std::isfinite(edp)) continue;
+      finite_edps.push_back(edp);
+      if (edp < result.best_geomean_edp) {
+        result.best_geomean_edp = edp;
+        result.best_arch = cfg;
+      }
+    }
+    result.population_mean_edp.push_back(core::mean(finite_edps));
+    result.population_best_edp.push_back(
+        finite_edps.empty()
+            ? std::numeric_limits<double>::infinity()
+            : *std::min_element(finite_edps.begin(), finite_edps.end()));
+  }
+
+  if (std::isfinite(result.best_geomean_edp)) {
+    for (const auto& net : benchmarks)
+      result.best_networks.push_back(
+          evaluator.evaluate(result.best_arch, net));
+  }
+  result.cost_evaluations = evaluator.cost_evaluations();
+  result.mapping_searches = evaluator.mapping_searches();
+  result.wall_seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace naas::search

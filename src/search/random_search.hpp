@@ -1,0 +1,16 @@
+#pragma once
+
+#include "search/accelerator_search.hpp"
+
+namespace naas::search {
+
+/// Random-search baseline for Fig. 4: identical evaluation pipeline to
+/// run_naas (same encoding, validity filter, inner mapping search, reward),
+/// but candidates are drawn uniformly from [0,1]^dim each iteration with no
+/// distribution update. The population-mean EDP therefore stays flat while
+/// NAAS's decreases.
+NaasResult run_random_search(const cost::CostModel& model,
+                             const NaasOptions& options,
+                             const std::vector<nn::Network>& benchmarks);
+
+}  // namespace naas::search

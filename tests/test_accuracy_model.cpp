@@ -1,0 +1,86 @@
+#include "nn/accuracy_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace naas::nn {
+namespace {
+
+TEST(AccuracyModel, AnchorsInDocumentedRanges) {
+  const AccuracyPredictor p;
+  const double full = p.predict(OfaSpace::full_config());
+  const double classic = p.predict(OfaSpace::resnet50_config());
+  EXPECT_NEAR(full, 78.9, 0.5);
+  EXPECT_NEAR(classic, 78.4, 0.5);
+  // OFA-trained subnets beat the scratch-trained ResNet-50 baseline.
+  EXPECT_GT(classic, AccuracyPredictor::kResNet50Top1);
+}
+
+TEST(AccuracyModel, SmallestConfigNearFloor) {
+  OfaConfig tiny;
+  tiny.image_size = 128;
+  tiny.width_idx = 0;
+  tiny.depths = {2, 2, 2, 2};
+  tiny.expand_idx.fill(0);
+  const double acc = AccuracyPredictor{}.predict(tiny);
+  EXPECT_NEAR(acc, 72.8, 0.6);
+}
+
+TEST(AccuracyModel, MonotoneInImageSize) {
+  const AccuracyPredictor p;
+  OfaConfig lo = OfaSpace::resnet50_config();
+  lo.image_size = 128;
+  OfaConfig hi = lo;
+  hi.image_size = 256;
+  // Jitter is bounded by +-0.15, so a full-range sweep must dominate it.
+  EXPECT_GT(p.predict(hi), p.predict(lo) + 0.5);
+}
+
+TEST(AccuracyModel, MonotoneInWidth) {
+  const AccuracyPredictor p;
+  OfaConfig lo = OfaSpace::resnet50_config();
+  lo.width_idx = 0;
+  OfaConfig hi = lo;
+  hi.width_idx = 2;
+  EXPECT_GT(p.predict(hi), p.predict(lo) + 0.5);
+}
+
+TEST(AccuracyModel, MonotoneInDepth) {
+  const AccuracyPredictor p;
+  OfaConfig lo = OfaSpace::resnet50_config();
+  lo.depths = {2, 2, 2, 2};
+  OfaConfig hi = lo;
+  hi.depths = OfaSpace::kMaxDepths;
+  EXPECT_GT(p.predict(hi), p.predict(lo) + 0.3);
+}
+
+TEST(AccuracyModel, DeterministicPerConfig) {
+  const AccuracyPredictor p;
+  const OfaConfig cfg = OfaSpace::resnet50_config();
+  EXPECT_DOUBLE_EQ(p.predict(cfg), p.predict(cfg));
+}
+
+TEST(AccuracyModel, JitterCreatesScatterAcrossConfigs) {
+  const AccuracyPredictor p;
+  // Two same-capacity configs that differ only in which stage lost a block
+  // should differ slightly (the realistic-scatter property).
+  OfaConfig a = OfaSpace::full_config();
+  a.depths = {3, 5, 6, 3};
+  OfaConfig b = OfaSpace::full_config();
+  b.depths = {4, 4, 6, 3};
+  EXPECT_NE(p.predict(a), p.predict(b));
+  EXPECT_NEAR(p.predict(a), p.predict(b), 0.5);
+}
+
+TEST(AccuracyModel, AlwaysWithinGlobalBounds) {
+  const AccuracyPredictor p;
+  const OfaSpace space;
+  core::Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    const double acc = p.predict(space.sample(rng));
+    EXPECT_GE(acc, 70.0);
+    EXPECT_LE(acc, 80.5);
+  }
+}
+
+}  // namespace
+}  // namespace naas::nn

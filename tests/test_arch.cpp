@@ -1,0 +1,100 @@
+#include "arch/accelerator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "arch/presets.hpp"
+
+namespace naas::arch {
+namespace {
+
+TEST(ArchConfig, NumPesIsProductOfActiveDims) {
+  ArchConfig cfg;
+  cfg.num_array_dims = 2;
+  cfg.array_dims = {16, 16, 99};  // third axis inactive
+  EXPECT_EQ(cfg.num_pes(), 256);
+  cfg.num_array_dims = 3;
+  cfg.array_dims = {4, 6, 6};
+  EXPECT_EQ(cfg.num_pes(), 144);
+  cfg.num_array_dims = 1;
+  cfg.array_dims = {64, 7, 7};
+  EXPECT_EQ(cfg.num_pes(), 64);
+}
+
+TEST(ArchConfig, OnchipIncludesPerPeL1) {
+  ArchConfig cfg;
+  cfg.num_array_dims = 2;
+  cfg.array_dims = {8, 8, 1};
+  cfg.l1_bytes = 512;
+  cfg.l2_bytes = 1024;
+  EXPECT_EQ(cfg.onchip_bytes(), 1024 + 512 * 64);
+}
+
+TEST(ArchConfig, ParallelQueries) {
+  ArchConfig cfg;
+  cfg.num_array_dims = 2;
+  cfg.array_dims = {12, 14, 1};
+  cfg.parallel_dims = {nn::Dim::kR, nn::Dim::kYp, nn::Dim::kXp};
+  EXPECT_TRUE(cfg.is_parallel(nn::Dim::kR));
+  EXPECT_TRUE(cfg.is_parallel(nn::Dim::kYp));
+  EXPECT_FALSE(cfg.is_parallel(nn::Dim::kXp));  // third axis inactive
+  EXPECT_EQ(cfg.parallel_extent(nn::Dim::kR), 12);
+  EXPECT_EQ(cfg.parallel_extent(nn::Dim::kYp), 14);
+  EXPECT_EQ(cfg.parallel_extent(nn::Dim::kK), 1);
+}
+
+TEST(ArchConfig, ValidRejectsDuplicateParallelDims) {
+  ArchConfig cfg;
+  cfg.num_array_dims = 2;
+  cfg.parallel_dims = {nn::Dim::kK, nn::Dim::kK, nn::Dim::kC};
+  EXPECT_FALSE(cfg.valid());
+  cfg.parallel_dims = {nn::Dim::kK, nn::Dim::kC, nn::Dim::kK};  // dup inactive
+  EXPECT_TRUE(cfg.valid());
+}
+
+TEST(ArchConfig, ValidRejectsBadSizes) {
+  ArchConfig cfg;
+  cfg.num_array_dims = 0;
+  EXPECT_FALSE(cfg.valid());
+  cfg.num_array_dims = 4;
+  EXPECT_FALSE(cfg.valid());
+  cfg.num_array_dims = 2;
+  cfg.array_dims = {0, 16, 1};
+  EXPECT_FALSE(cfg.valid());
+  cfg.array_dims = {16, 16, 1};
+  cfg.l2_bytes = 0;
+  EXPECT_FALSE(cfg.valid());
+}
+
+TEST(ArchConfig, ToStringDescribesDesign) {
+  const std::string s = nvdla_256_arch().to_string();
+  EXPECT_NE(s.find("NVDLA-256"), std::string::npos);
+  EXPECT_NE(s.find("16x16"), std::string::npos);
+  EXPECT_NE(s.find("C-K"), std::string::npos);
+  EXPECT_NE(s.find("256 PEs"), std::string::npos);
+}
+
+TEST(Presets, AllBaselinesAreValid) {
+  for (const auto& cfg : {edge_tpu_arch(), nvdla_1024_arch(),
+                          nvdla_256_arch(), eyeriss_arch(),
+                          shidiannao_arch()}) {
+    EXPECT_TRUE(cfg.valid()) << cfg.name;
+  }
+}
+
+TEST(Presets, PeCountsMatchPublished) {
+  EXPECT_EQ(edge_tpu_arch().num_pes(), 4096);
+  EXPECT_EQ(nvdla_1024_arch().num_pes(), 1024);
+  EXPECT_EQ(nvdla_256_arch().num_pes(), 256);
+  EXPECT_EQ(eyeriss_arch().num_pes(), 168);
+  EXPECT_EQ(shidiannao_arch().num_pes(), 64);
+}
+
+TEST(Presets, NativeDataflows) {
+  EXPECT_EQ(native_dataflow(nvdla_256_arch()), Dataflow::kWeightStationary);
+  EXPECT_EQ(native_dataflow(edge_tpu_arch()), Dataflow::kWeightStationary);
+  EXPECT_EQ(native_dataflow(eyeriss_arch()), Dataflow::kRowStationary);
+  EXPECT_EQ(native_dataflow(shidiannao_arch()), Dataflow::kOutputStationary);
+}
+
+}  // namespace
+}  // namespace naas::arch

@@ -1,0 +1,72 @@
+#include "mapping/canonical.hpp"
+
+#include <gtest/gtest.h>
+
+#include "arch/presets.hpp"
+#include "mapping/legality.hpp"
+
+namespace naas::mapping {
+namespace {
+
+TEST(Canonical, OrdersAreValidPermutations) {
+  EXPECT_TRUE(is_valid_order(weight_stationary_order()));
+  EXPECT_TRUE(is_valid_order(output_stationary_order()));
+  EXPECT_TRUE(is_valid_order(row_stationary_order()));
+}
+
+TEST(Canonical, WeightStationaryStreamsSpatialInnermost) {
+  const LoopOrder o = weight_stationary_order();
+  // The last two loops must be weight-irrelevant (N/Y'/X') so weights stay.
+  EXPECT_EQ(o[6], nn::Dim::kXp);
+  EXPECT_EQ(o[5], nn::Dim::kYp);
+}
+
+TEST(Canonical, OutputStationaryReducesInnermost) {
+  const LoopOrder o = output_stationary_order();
+  EXPECT_EQ(o[4], nn::Dim::kC);
+  EXPECT_EQ(o[5], nn::Dim::kR);
+  EXPECT_EQ(o[6], nn::Dim::kS);
+}
+
+TEST(Canonical, MappingIsLegalOnAllPresets) {
+  const nn::ConvLayer layers[] = {
+      nn::make_conv("big", 256, 512, 3, 1, 28),
+      nn::make_conv("stem", 3, 64, 7, 2, 112),
+      nn::make_dwconv("dw", 96, 3, 2, 56),
+      nn::make_fc("fc", 2048, 1000),
+  };
+  for (const auto& arch :
+       {arch::edge_tpu_arch(), arch::nvdla_1024_arch(), arch::nvdla_256_arch(),
+        arch::eyeriss_arch(), arch::shidiannao_arch()}) {
+    for (const auto& l : layers) {
+      const Mapping m = canonical_mapping(arch, l);
+      const auto rep = check(m, l, arch);
+      EXPECT_TRUE(rep.legal) << arch.name << " / " << l.name << ": "
+                             << rep.reason;
+    }
+  }
+}
+
+TEST(Canonical, DataflowSelectsMatchingOrder) {
+  const auto arch = arch::nvdla_256_arch();
+  const nn::ConvLayer l = nn::make_conv("c", 64, 64, 3, 1, 14);
+  const Mapping ws =
+      canonical_mapping(arch, l, arch::Dataflow::kWeightStationary);
+  EXPECT_EQ(ws.pe.order, weight_stationary_order());
+  const Mapping os =
+      canonical_mapping(arch, l, arch::Dataflow::kOutputStationary);
+  EXPECT_EQ(os.pe.order, output_stationary_order());
+}
+
+TEST(Canonical, TilesAreMaximalWithinCapacity) {
+  // On a huge L2, the canonical mapping should keep the whole layer as one
+  // L2 tile (no DRAM refetch).
+  auto arch = arch::edge_tpu_arch();
+  const nn::ConvLayer l = nn::make_conv("c", 64, 64, 3, 1, 28);
+  const Mapping m = canonical_mapping(arch, l);
+  for (nn::Dim d : nn::all_dims())
+    EXPECT_EQ(tile_of(m.dram.tile, d), l.dim_size(d)) << nn::dim_name(d);
+}
+
+}  // namespace
+}  // namespace naas::mapping

@@ -1,0 +1,148 @@
+#include "search/cma_es.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace naas::search {
+namespace {
+
+double sphere(const std::vector<double>& x, double target = 0.3) {
+  double acc = 0;
+  for (double v : x) acc += (v - target) * (v - target);
+  return acc;
+}
+
+double rosenbrock01(const std::vector<double>& x) {
+  // Rosenbrock mapped into [0,1]^n (optimum at ~0.75 per coordinate after
+  // the affine map x' = 4x - 2).
+  double acc = 0;
+  for (std::size_t i = 0; i + 1 < x.size(); ++i) {
+    const double a = 4.0 * x[i] - 2.0;
+    const double b = 4.0 * x[i + 1] - 2.0;
+    acc += 100.0 * (b - a * a) * (b - a * a) + (1.0 - a) * (1.0 - a);
+  }
+  return acc;
+}
+
+TEST(CmaEs, PopulationShapesAndBounds) {
+  CmaEsOptions opts;
+  opts.dim = 5;
+  opts.population = 12;
+  CmaEs cma(opts);
+  const auto pop = cma.ask();
+  ASSERT_EQ(pop.size(), 12u);
+  for (const auto& x : pop) {
+    ASSERT_EQ(x.size(), 5u);
+    for (double v : x) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+  }
+}
+
+TEST(CmaEs, ConvergesOnSphere) {
+  CmaEsOptions opts;
+  opts.dim = 8;
+  opts.population = 16;
+  opts.seed = 3;
+  CmaEs cma(opts);
+  double best = 1e9;
+  for (int iter = 0; iter < 60; ++iter) {
+    const auto pop = cma.ask();
+    std::vector<double> fit;
+    for (const auto& x : pop) {
+      fit.push_back(sphere(x));
+      best = std::min(best, fit.back());
+    }
+    cma.tell(pop, fit);
+  }
+  EXPECT_LT(best, 1e-4);
+  for (double m : cma.mean()) EXPECT_NEAR(m, 0.3, 0.05);
+}
+
+TEST(CmaEs, ImprovesRosenbrock) {
+  CmaEsOptions opts;
+  opts.dim = 4;
+  opts.population = 16;
+  opts.seed = 11;
+  CmaEs cma(opts);
+  double first_gen_best = 0, best = 1e18;
+  for (int iter = 0; iter < 80; ++iter) {
+    const auto pop = cma.ask();
+    std::vector<double> fit;
+    for (const auto& x : pop) {
+      fit.push_back(rosenbrock01(x));
+      best = std::min(best, fit.back());
+    }
+    if (iter == 0)
+      first_gen_best = *std::min_element(fit.begin(), fit.end());
+    cma.tell(pop, fit);
+  }
+  EXPECT_LT(best, first_gen_best / 50.0);
+}
+
+TEST(CmaEs, DeterministicForSeed) {
+  CmaEsOptions opts;
+  opts.dim = 3;
+  opts.population = 8;
+  opts.seed = 42;
+  CmaEs a(opts), b(opts);
+  const auto pa = a.ask();
+  const auto pb = b.ask();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) EXPECT_EQ(pa[i], pb[i]);
+}
+
+TEST(CmaEs, ValidityPredicateRespected) {
+  CmaEsOptions opts;
+  opts.dim = 2;
+  opts.population = 20;
+  opts.seed = 5;
+  CmaEs cma(opts);
+  // Accept only the lower-left quadrant (plenty of mass remains).
+  const auto pop = cma.ask(
+      [](const std::vector<double>& x) { return x[0] < 0.5 && x[1] < 0.5; });
+  int ok = 0;
+  for (const auto& x : pop) ok += x[0] < 0.5 && x[1] < 0.5;
+  EXPECT_GE(ok, 18);  // nearly all should satisfy after resampling
+}
+
+TEST(CmaEs, SigmaStaysPositiveAndBounded) {
+  CmaEsOptions opts;
+  opts.dim = 6;
+  opts.population = 12;
+  CmaEs cma(opts);
+  for (int iter = 0; iter < 30; ++iter) {
+    const auto pop = cma.ask();
+    std::vector<double> fit;
+    for (const auto& x : pop) fit.push_back(sphere(x, 0.7));
+    cma.tell(pop, fit);
+    EXPECT_GT(cma.sigma(), 0.0);
+    EXPECT_LE(cma.sigma(), 1.0);
+  }
+  EXPECT_EQ(cma.generation(), 30);
+}
+
+TEST(CmaEs, HandlesInfiniteFitness) {
+  // Invalid candidates are scored +inf; the optimizer must keep working.
+  CmaEsOptions opts;
+  opts.dim = 3;
+  opts.population = 10;
+  opts.seed = 9;
+  CmaEs cma(opts);
+  for (int iter = 0; iter < 20; ++iter) {
+    const auto pop = cma.ask();
+    std::vector<double> fit;
+    for (const auto& x : pop) {
+      fit.push_back(x[0] > 0.8 ? std::numeric_limits<double>::infinity()
+                               : sphere(x));
+    }
+    cma.tell(pop, fit);
+  }
+  EXPECT_LT(cma.mean()[0], 0.8);
+  EXPECT_TRUE(std::isfinite(cma.mean()[1]));
+}
+
+}  // namespace
+}  // namespace naas::search

@@ -1,0 +1,49 @@
+#include "search/cost_accounting.hpp"
+
+#include <gtest/gtest.h>
+
+namespace naas::search {
+namespace {
+
+TEST(SearchCost, PaperFormulas) {
+  // Table IV: NASAIC 6000N + 16N, NHAS 12 + 20N.
+  EXPECT_DOUBLE_EQ(SearchCostModel::nasaic_gpu_days(1), 6016.0);
+  EXPECT_DOUBLE_EQ(SearchCostModel::nasaic_gpu_days(3), 3.0 * 6016.0);
+  EXPECT_DOUBLE_EQ(SearchCostModel::nhas_gpu_days(1), 32.0);
+  EXPECT_DOUBLE_EQ(SearchCostModel::nhas_gpu_days(5), 112.0);
+}
+
+TEST(SearchCost, NaasCostDominatedByOneTimeSupernet) {
+  // A measured scenario of a few minutes adds negligible GPU-days.
+  const double one = SearchCostModel::naas_gpu_days(1, 300.0);
+  EXPECT_NEAR(one, 50.0, 0.1);
+  const double many = SearchCostModel::naas_gpu_days(100, 300.0);
+  EXPECT_LT(many, 51.0);
+  // The paper's headline: >120x cheaper than NASAIC per scenario.
+  EXPECT_GT(SearchCostModel::nasaic_gpu_days(1) / one, 120.0);
+}
+
+TEST(SearchCost, DollarAndCarbonScales) {
+  EXPECT_DOUBLE_EQ(SearchCostModel::aws_cost(10.0), 750.0);
+  EXPECT_DOUBLE_EQ(SearchCostModel::co2_lbs(10.0), 75.0);
+}
+
+TEST(SearchCost, MeasuredCountersReport) {
+  MeasuredSearchCost c;
+  c.cost_model_evaluations = 1000;
+  c.mapping_searches = 10;
+  c.wall_seconds = 2.0;
+  EXPECT_DOUBLE_EQ(c.throughput(), 500.0);
+  const std::string s = c.to_string();
+  EXPECT_NE(s.find("1000"), std::string::npos);
+  EXPECT_NE(s.find("mapping searches"), std::string::npos);
+}
+
+TEST(SearchCost, ZeroTimeThroughputIsZero) {
+  MeasuredSearchCost c;
+  c.cost_model_evaluations = 5;
+  EXPECT_DOUBLE_EQ(c.throughput(), 0.0);
+}
+
+}  // namespace
+}  // namespace naas::search

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <tuple>
+
+#include "arch/presets.hpp"
+#include "cost/cost_model.hpp"
+#include "mapping/canonical.hpp"
+#include "nn/model_zoo.hpp"
+
+namespace naas {
+namespace {
+
+arch::ArchConfig preset_by_name(const std::string& name) {
+  if (name == "EdgeTPU") return arch::edge_tpu_arch();
+  if (name == "NVDLA-1024") return arch::nvdla_1024_arch();
+  if (name == "NVDLA-256") return arch::nvdla_256_arch();
+  if (name == "Eyeriss") return arch::eyeriss_arch();
+  return arch::shidiannao_arch();
+}
+
+/// Property sweep: every unique layer of every benchmark network, run with
+/// its canonical mapping on every baseline accelerator, must satisfy the
+/// cost model's physical invariants.
+class CostInvariants
+    : public ::testing::TestWithParam<std::tuple<std::string, std::string>> {
+};
+
+TEST_P(CostInvariants, PhysicalInvariantsHold) {
+  const auto& [net_name, arch_name] = GetParam();
+  const nn::Network net = nn::make_network(net_name);
+  const arch::ArchConfig arch = preset_by_name(arch_name);
+  const cost::CostModel model;
+
+  for (const auto& [layer, count] : net.unique_layers()) {
+    SCOPED_TRACE(layer.to_string());
+    const auto m = mapping::canonical_mapping(arch, layer);
+    const auto rep = model.evaluate(arch, layer, m);
+    ASSERT_TRUE(rep.legal) << rep.illegal_reason;
+
+    // Utilization is a fraction of the peak.
+    EXPECT_GT(rep.pe_utilization, 0.0);
+    EXPECT_LE(rep.pe_utilization, 1.0 + 1e-9);
+
+    // Latency is bounded below by each component roofline.
+    EXPECT_GE(rep.latency_cycles, rep.compute_cycles);
+    EXPECT_GE(rep.latency_cycles, rep.noc_cycles);
+    EXPECT_GE(rep.latency_cycles, rep.dram_cycles);
+
+    // Compute roofline: at least macs / #PEs cycles.
+    EXPECT_GE(rep.compute_cycles * arch.num_pes(), rep.macs - 1e-6);
+
+    // DRAM traffic at least the compulsory working set.
+    const double compulsory = static_cast<double>(
+        layer.input_elems() + layer.weight_elems() + layer.output_elems());
+    EXPECT_GE(rep.dram_bytes, compulsory - 1e-6);
+
+    // L1 must see at least one operand read per MAC plus the fills.
+    EXPECT_GE(rep.l1_access_bytes, rep.macs);
+
+    // Energy floor: the MACs themselves.
+    EXPECT_GE(rep.energy_nj * 1000.0, rep.macs * model.energy_model().mac_pj);
+
+    // EDP consistency.
+    EXPECT_DOUBLE_EQ(rep.edp, rep.energy_nj * rep.latency_cycles);
+    EXPECT_TRUE(std::isfinite(rep.edp));
+    EXPECT_GT(rep.edp, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ZooTimesPresets, CostInvariants,
+    ::testing::Combine(
+        ::testing::Values("vgg16", "resnet50", "unet", "mobilenetv2",
+                          "squeezenet", "mnasnet", "cifarnet"),
+        ::testing::Values("EdgeTPU", "NVDLA-1024", "NVDLA-256", "Eyeriss",
+                          "ShiDianNao")),
+    [](const ::testing::TestParamInfo<std::tuple<std::string, std::string>>&
+           info) {
+      std::string name =
+          std::get<0>(info.param) + "_" + std::get<1>(info.param);
+      for (auto& c : name)
+        if (c == '-') c = '_';
+      return name;
+    });
+
+/// Doubling compute resources at fixed mapping policy should never slow a
+/// network down under the canonical-mapping policy.
+TEST(CostScaling, MorePesNeverSlowerOnConv) {
+  const cost::CostModel model;
+  const nn::ConvLayer layer = nn::make_conv("c", 128, 256, 3, 1, 28);
+  arch::ArchConfig small = arch::nvdla_256_arch();   // 16x16
+  arch::ArchConfig big = arch::nvdla_1024_arch();    // 32x32, bigger buffers
+  const auto rs =
+      model.evaluate(small, layer, mapping::canonical_mapping(small, layer));
+  const auto rb =
+      model.evaluate(big, layer, mapping::canonical_mapping(big, layer));
+  ASSERT_TRUE(rs.legal && rb.legal);
+  EXPECT_LE(rb.compute_cycles, rs.compute_cycles);
+}
+
+/// Batch-2 inference must cost at least as much as batch-1 in both time and
+/// energy under the same arch/mapping policy.
+TEST(CostScaling, BatchMonotone) {
+  const cost::CostModel model;
+  const auto arch = arch::nvdla_256_arch();
+  const nn::ConvLayer b1 = nn::make_conv("c", 64, 64, 3, 1, 28, 1);
+  const nn::ConvLayer b2 = nn::make_conv("c", 64, 64, 3, 1, 28, 2);
+  const auto r1 = model.evaluate(arch, b1, mapping::canonical_mapping(arch, b1));
+  const auto r2 = model.evaluate(arch, b2, mapping::canonical_mapping(arch, b2));
+  ASSERT_TRUE(r1.legal && r2.legal);
+  EXPECT_GE(r2.latency_cycles, r1.latency_cycles);
+  EXPECT_GE(r2.energy_nj, r1.energy_nj);
+}
+
+/// Determinism: evaluating the same triple twice gives identical reports.
+TEST(CostScaling, EvaluationIsDeterministic) {
+  const cost::CostModel model;
+  const auto arch = arch::eyeriss_arch();
+  const nn::ConvLayer layer = nn::make_conv("c", 96, 96, 3, 1, 28);
+  const auto m = mapping::canonical_mapping(arch, layer);
+  const auto a = model.evaluate(arch, layer, m);
+  const auto b = model.evaluate(arch, layer, m);
+  EXPECT_DOUBLE_EQ(a.edp, b.edp);
+  EXPECT_DOUBLE_EQ(a.latency_cycles, b.latency_cycles);
+  EXPECT_DOUBLE_EQ(a.energy_nj, b.energy_nj);
+}
+
+}  // namespace
+}  // namespace naas

@@ -1,0 +1,43 @@
+#include "cost/energy_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace naas::cost {
+namespace {
+
+TEST(EnergyModel, LadderOrdering) {
+  const EnergyModel em;
+  // RF < small SRAM < big SRAM << DRAM, with MAC comparable to RF.
+  const double rf = em.l1_access_pj(512);
+  const double sram = em.l2_access_pj(108 * 1024);
+  const double big = em.l2_access_pj(8 * 1024 * 1024);
+  EXPECT_LT(rf, sram);
+  EXPECT_LT(sram, big);
+  EXPECT_LT(big, em.dram_pj_per_byte);
+  EXPECT_NEAR(rf, em.mac_pj, 0.5);
+}
+
+TEST(EnergyModel, EyerissLikeRatios) {
+  const EnergyModel em;
+  // The classic Eyeriss ladder: ~100KB SRAM about 6x a MAC, DRAM ~200x.
+  EXPECT_NEAR(em.l2_access_pj(108 * 1024) / em.mac_pj, 7.3, 1.5);
+  EXPECT_NEAR(em.dram_pj_per_byte / em.mac_pj, 200.0, 1.0);
+}
+
+TEST(EnergyModel, SqrtCapacityGrowth) {
+  const EnergyModel em;
+  const double e1 = em.l2_access_pj(64 * 1024);
+  const double e4 = em.l2_access_pj(256 * 1024);
+  // Quadrupling capacity should roughly double the sqrt term.
+  EXPECT_NEAR((e4 - em.l2_base_pj) / (e1 - em.l2_base_pj), 2.0, 0.01);
+}
+
+TEST(EnergyModel, CustomParametersRespected) {
+  EnergyModel em;
+  em.l1_base_pj = 2.0;
+  em.l1_sqrt_coef_pj = 0.0;
+  EXPECT_DOUBLE_EQ(em.l1_access_pj(123456), 2.0);
+}
+
+}  // namespace
+}  // namespace naas::cost

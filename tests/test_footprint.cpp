@@ -1,0 +1,70 @@
+#include "mapping/footprint.hpp"
+
+#include <gtest/gtest.h>
+
+namespace naas::mapping {
+namespace {
+
+nn::ConvLayer conv() { return nn::make_conv("c", 16, 32, 3, 1, 28); }
+
+TileSizes tiles(int n, int k, int c, int yp, int xp, int r, int s) {
+  TileSizes t{};
+  set_tile(t, nn::Dim::kN, n);
+  set_tile(t, nn::Dim::kK, k);
+  set_tile(t, nn::Dim::kC, c);
+  set_tile(t, nn::Dim::kYp, yp);
+  set_tile(t, nn::Dim::kXp, xp);
+  set_tile(t, nn::Dim::kR, r);
+  set_tile(t, nn::Dim::kS, s);
+  return t;
+}
+
+TEST(Footprint, UnitTileIsThreeBytes) {
+  const auto fp = tile_footprint(conv(), tiles(1, 1, 1, 1, 1, 1, 1));
+  EXPECT_EQ(fp.input, 1);
+  EXPECT_EQ(fp.weight, 1);
+  EXPECT_EQ(fp.output, 1);
+  EXPECT_EQ(fp.total(), 3);
+}
+
+TEST(Footprint, HaloAccountsKernelAndStride) {
+  // 4 output rows/cols with 3x3 kernel, stride 1 -> 6x6 input patch.
+  const auto fp = tile_footprint(conv(), tiles(1, 1, 2, 4, 4, 3, 3));
+  EXPECT_EQ(fp.input, 2 * 6 * 6);
+  EXPECT_EQ(fp.weight, 1 * 2 * 3 * 3);
+  EXPECT_EQ(fp.output, 1 * 4 * 4);
+}
+
+TEST(Footprint, StrideTwoDoublesHaloSpacing) {
+  const nn::ConvLayer l = nn::make_conv("s2", 8, 8, 3, 2, 14);
+  const auto fp = tile_footprint(l, tiles(1, 1, 1, 4, 1, 3, 3));
+  // (4-1)*2 + 3 = 9 input rows; (1-1)*2 + 3 = 3 input cols.
+  EXPECT_EQ(fp.input, 9 * 3);
+}
+
+TEST(Footprint, FullTileMatchesLayerTotals) {
+  const nn::ConvLayer l = conv();
+  const auto fp = tile_footprint(
+      l, tiles(1, 32, 16, 28, 28, 3, 3));
+  EXPECT_EQ(fp.input, l.input_elems());
+  EXPECT_EQ(fp.weight, l.weight_elems());
+  EXPECT_EQ(fp.output, l.output_elems());
+}
+
+TEST(Footprint, ClampsOversizedTiles) {
+  const auto fp_over = tile_footprint(conv(), tiles(9, 999, 999, 999, 999, 9, 9));
+  const auto fp_full = tile_footprint(conv(), tiles(1, 32, 16, 28, 28, 3, 3));
+  EXPECT_EQ(fp_over.total(), fp_full.total());
+}
+
+TEST(Footprint, DepthwiseWalksChannelsViaK) {
+  const nn::ConvLayer dw = nn::make_dwconv("dw", 32, 3, 1, 14);
+  const auto fp = tile_footprint(dw, tiles(1, 8, 1, 2, 2, 3, 3));
+  // 8 channels (from K), 4x4 halo patch.
+  EXPECT_EQ(fp.input, 8 * 4 * 4);
+  EXPECT_EQ(fp.weight, 8 * 1 * 3 * 3);
+  EXPECT_EQ(fp.output, 8 * 2 * 2);
+}
+
+}  // namespace
+}  // namespace naas::mapping

@@ -1,0 +1,196 @@
+#include "mapping/legality.hpp"
+
+#include <gtest/gtest.h>
+
+#include "arch/presets.hpp"
+#include "mapping/footprint.hpp"
+
+namespace naas::mapping {
+namespace {
+
+nn::ConvLayer conv() { return nn::make_conv("c", 64, 128, 3, 1, 28); }
+
+Mapping full_tiles(const nn::ConvLayer& l) {
+  Mapping m;
+  for (nn::Dim d : nn::all_dims()) {
+    set_tile(m.dram.tile, d, l.dim_size(d));
+    set_tile(m.pe.tile, d, l.dim_size(d));
+  }
+  return m;
+}
+
+TEST(Legality, PeShareDividesByParallelExtent) {
+  const auto arch = arch::nvdla_256_arch();  // 16x16 C x K
+  const nn::ConvLayer l = conv();
+  TileSizes t2{};
+  for (nn::Dim d : nn::all_dims()) set_tile(t2, d, l.dim_size(d));
+  EXPECT_EQ(pe_share(l, arch, t2, nn::Dim::kC), 4);   // 64/16
+  EXPECT_EQ(pe_share(l, arch, t2, nn::Dim::kK), 8);   // 128/16
+  EXPECT_EQ(pe_share(l, arch, t2, nn::Dim::kYp), 28); // not parallel
+}
+
+TEST(Legality, PeShareCeils) {
+  const auto arch = arch::eyeriss_arch();  // 12 x 14, R x Y'
+  const nn::ConvLayer l = conv();          // R=3, Yp=28
+  TileSizes t2{};
+  for (nn::Dim d : nn::all_dims()) set_tile(t2, d, l.dim_size(d));
+  EXPECT_EQ(pe_share(l, arch, t2, nn::Dim::kR), 1);   // ceil(3/12)
+  EXPECT_EQ(pe_share(l, arch, t2, nn::Dim::kYp), 2);  // ceil(28/14)
+}
+
+TEST(Legality, CheckRejectsBadOrder) {
+  const auto arch = arch::nvdla_256_arch();
+  const nn::ConvLayer l = conv();
+  Mapping m = repair(full_tiles(l), l, arch);
+  m.dram.order[0] = m.dram.order[1];
+  const auto rep = check(m, l, arch);
+  EXPECT_FALSE(rep.legal);
+  EXPECT_NE(rep.reason.find("permutation"), std::string::npos);
+}
+
+TEST(Legality, CheckRejectsOversizedDramTile) {
+  const auto arch = arch::nvdla_256_arch();
+  const nn::ConvLayer l = conv();
+  Mapping m = repair(full_tiles(l), l, arch);
+  set_tile(m.dram.tile, nn::Dim::kK, l.out_channels + 1);
+  EXPECT_FALSE(check(m, l, arch).legal);
+}
+
+TEST(Legality, CheckRejectsPeTileBeyondShare) {
+  const auto arch = arch::nvdla_256_arch();
+  const nn::ConvLayer l = conv();
+  Mapping m = repair(full_tiles(l), l, arch);
+  set_tile(m.pe.tile, nn::Dim::kK,
+           pe_share(l, arch, m.dram.tile, nn::Dim::kK) + 1);
+  EXPECT_FALSE(check(m, l, arch).legal);
+}
+
+TEST(Legality, CheckRejectsL1Overflow) {
+  auto arch = arch::nvdla_256_arch();
+  arch.l1_bytes = 4;  // nothing fits
+  const nn::ConvLayer l = conv();
+  Mapping m = full_tiles(l);
+  set_tile(m.pe.tile, nn::Dim::kYp, 4);
+  const auto rep = check(m, l, arch);
+  EXPECT_FALSE(rep.legal);
+}
+
+TEST(Legality, RepairProducesLegalMappingFromGarbage) {
+  const auto arch = arch::eyeriss_arch();
+  const nn::ConvLayer l = conv();
+  Mapping garbage;
+  garbage.dram.order[0] = garbage.dram.order[3];  // invalid order
+  for (nn::Dim d : nn::all_dims()) {
+    set_tile(garbage.dram.tile, d, 100000);
+    set_tile(garbage.pe.tile, d, -5);
+  }
+  const Mapping fixed = repair(garbage, l, arch);
+  const auto rep = check(fixed, l, arch);
+  EXPECT_TRUE(rep.legal) << rep.reason;
+}
+
+TEST(Legality, RepairKeepsAlreadyLegalMappingIntact) {
+  const auto arch = arch::nvdla_256_arch();
+  const nn::ConvLayer l = conv();
+  Mapping m;
+  for (nn::Dim d : nn::all_dims()) {
+    set_tile(m.dram.tile, d, 1);
+    set_tile(m.pe.tile, d, 1);
+  }
+  set_tile(m.dram.tile, nn::Dim::kK, 16);
+  const Mapping fixed = repair(m, l, arch);
+  EXPECT_EQ(tile_of(fixed.dram.tile, nn::Dim::kK), 16);
+}
+
+TEST(Legality, RepairRespectsShrinkPriority) {
+  auto arch = arch::nvdla_256_arch();
+  arch.l1_bytes = 64;
+  const nn::ConvLayer l = conv();
+  Mapping m = full_tiles(l);
+  // Priority shrinks X' first: after repair X' should be the most reduced.
+  ShrinkPriority prio{nn::Dim::kXp, nn::Dim::kYp, nn::Dim::kN, nn::Dim::kK,
+                      nn::Dim::kC,  nn::Dim::kS,  nn::Dim::kR};
+  const Mapping fixed = repair(m, l, arch, prio);
+  EXPECT_TRUE(check(fixed, l, arch).legal);
+  EXPECT_LE(tile_of(fixed.pe.tile, nn::Dim::kXp),
+            tile_of(fixed.pe.tile, nn::Dim::kR) * 3);
+}
+
+TEST(Legality, RepairHandlesTinyBuffers) {
+  auto arch = arch::nvdla_256_arch();
+  arch.l1_bytes = 3;   // exactly one element of each operand
+  arch.l2_bytes = 16;
+  const nn::ConvLayer l = conv();
+  const Mapping fixed = repair(full_tiles(l), l, arch);
+  EXPECT_TRUE(check(fixed, l, arch).legal);
+}
+
+TEST(Legality, RepairReclampsPeTileAfterL2Shrink) {
+  auto arch = arch::nvdla_256_arch();
+  arch.l2_bytes = 2048;  // force heavy L2 shrinking
+  const nn::ConvLayer l = conv();
+  const Mapping fixed = repair(full_tiles(l), l, arch);
+  const auto rep = check(fixed, l, arch);
+  EXPECT_TRUE(rep.legal) << rep.reason;
+  for (nn::Dim d : nn::all_dims()) {
+    EXPECT_LE(tile_of(fixed.pe.tile, d),
+              pe_share(l, arch, fixed.dram.tile, d));
+  }
+}
+
+TEST(GrowToFit, FillsBuffersWithoutOverflow) {
+  const auto arch = arch::nvdla_256_arch();
+  const nn::ConvLayer l = conv();
+  Mapping m;  // all-ones tiles: trivially legal, massively undersized
+  const Mapping grown = grow_to_fit(m, l, arch, default_shrink_priority(),
+                                    default_shrink_priority());
+  EXPECT_TRUE(check(grown, l, arch).legal);
+  // The grown L2 tile should use most of the buffer (> half).
+  EXPECT_GT(tile_footprint(l, grown.dram.tile).total(), arch.l2_bytes / 2);
+  EXPECT_GT(tile_footprint(l, grown.pe.tile).total(), arch.l1_bytes / 4);
+}
+
+TEST(GrowToFit, RespectsPriorityOrder) {
+  auto arch = arch::nvdla_256_arch();
+  arch.l2_bytes = 8 * 1024;  // tight: only the first-priority dims grow
+  const nn::ConvLayer l = conv();
+  Mapping m;
+  ShrinkPriority k_first{nn::Dim::kK, nn::Dim::kC, nn::Dim::kYp,
+                         nn::Dim::kXp, nn::Dim::kN, nn::Dim::kR, nn::Dim::kS};
+  ShrinkPriority y_first{nn::Dim::kYp, nn::Dim::kXp, nn::Dim::kK,
+                         nn::Dim::kC, nn::Dim::kN, nn::Dim::kR, nn::Dim::kS};
+  const Mapping mk = grow_to_fit(m, l, arch, k_first, k_first);
+  const Mapping my = grow_to_fit(m, l, arch, y_first, y_first);
+  EXPECT_GE(tile_of(mk.dram.tile, nn::Dim::kK),
+            tile_of(my.dram.tile, nn::Dim::kK));
+  EXPECT_GE(tile_of(my.dram.tile, nn::Dim::kYp),
+            tile_of(mk.dram.tile, nn::Dim::kYp));
+}
+
+TEST(GrowToFit, NeverShrinksTiles) {
+  const auto arch = arch::eyeriss_arch();
+  const nn::ConvLayer l = conv();
+  Mapping m = repair(full_tiles(l), l, arch);
+  const Mapping grown = grow_to_fit(m, l, arch, default_shrink_priority(),
+                                    default_shrink_priority());
+  for (nn::Dim d : nn::all_dims()) {
+    EXPECT_GE(tile_of(grown.dram.tile, d), tile_of(m.dram.tile, d));
+    EXPECT_GE(tile_of(grown.pe.tile, d), tile_of(m.pe.tile, d));
+  }
+  EXPECT_TRUE(check(grown, l, arch).legal);
+}
+
+TEST(GrowToFit, PeTilesStayWithinShares) {
+  const auto arch = arch::shidiannao_arch();
+  const nn::ConvLayer l = nn::make_conv("big", 256, 512, 3, 1, 56);
+  Mapping m;
+  const Mapping grown = grow_to_fit(m, l, arch, default_shrink_priority(),
+                                    default_shrink_priority());
+  for (nn::Dim d : nn::all_dims()) {
+    EXPECT_LE(tile_of(grown.pe.tile, d),
+              pe_share(l, arch, grown.dram.tile, d));
+  }
+}
+
+}  // namespace
+}  // namespace naas::mapping

@@ -1,0 +1,39 @@
+#include "mapping/mapping.hpp"
+
+#include <gtest/gtest.h>
+
+namespace naas::mapping {
+namespace {
+
+TEST(Mapping, DefaultOrderIsValidPermutation) {
+  EXPECT_TRUE(is_valid_order(default_order()));
+  EXPECT_EQ(default_order()[0], nn::Dim::kN);
+}
+
+TEST(Mapping, DetectsDuplicateDims) {
+  LoopOrder order = default_order();
+  order[1] = order[2];
+  EXPECT_FALSE(is_valid_order(order));
+}
+
+TEST(Mapping, TileAccessors) {
+  TileSizes t{1, 1, 1, 1, 1, 1, 1};
+  set_tile(t, nn::Dim::kYp, 7);
+  EXPECT_EQ(tile_of(t, nn::Dim::kYp), 7);
+  EXPECT_EQ(tile_of(t, nn::Dim::kK), 1);
+}
+
+TEST(Mapping, OrderToStringFormat) {
+  EXPECT_EQ(order_to_string(default_order()), "N>K>C>Y'>X'>R>S");
+}
+
+TEST(Mapping, ToStringShowsAllLevels) {
+  Mapping m;
+  const std::string s = m.to_string();
+  EXPECT_NE(s.find("dram order"), std::string::npos);
+  EXPECT_NE(s.find("pe   order"), std::string::npos);
+  EXPECT_NE(s.find("reg  order"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace naas::mapping

@@ -1,0 +1,126 @@
+#include "core/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace naas::core {
+namespace {
+
+TEST(Matrix, IdentityShapeAndValues) {
+  const Matrix id = Matrix::identity(3);
+  EXPECT_EQ(id.rows(), 3);
+  EXPECT_EQ(id.cols(), 3);
+  for (int r = 0; r < 3; ++r)
+    for (int c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(id(r, c), r == c ? 1.0 : 0.0);
+}
+
+TEST(Matrix, FillConstructor) {
+  const Matrix m(2, 4, 3.5);
+  for (int r = 0; r < 2; ++r)
+    for (int c = 0; c < 4; ++c) EXPECT_DOUBLE_EQ(m(r, c), 3.5);
+}
+
+TEST(Matrix, MatvecComputesProduct) {
+  Matrix m(2, 3);
+  m(0, 0) = 1; m(0, 1) = 2; m(0, 2) = 3;
+  m(1, 0) = 4; m(1, 1) = 5; m(1, 2) = 6;
+  const auto y = m.matvec({1.0, 0.0, -1.0});
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], -2.0);
+  EXPECT_DOUBLE_EQ(y[1], -2.0);
+}
+
+TEST(Matrix, AddOuterRankOneUpdate) {
+  Matrix m = Matrix::identity(2);
+  m.add_outer({1.0, 2.0}, 0.5);
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.5);
+  EXPECT_DOUBLE_EQ(m(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 3.0);
+}
+
+TEST(Matrix, ScaleMultipliesEveryEntry) {
+  Matrix m(2, 2, 2.0);
+  m.scale(0.25);
+  for (int r = 0; r < 2; ++r)
+    for (int c = 0; c < 2; ++c) EXPECT_DOUBLE_EQ(m(r, c), 0.5);
+}
+
+TEST(Matrix, TransposedSwapsIndices) {
+  Matrix m(2, 3, 0.0);
+  m(0, 2) = 7.0;
+  m(1, 0) = -1.0;
+  const Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 2);
+  EXPECT_DOUBLE_EQ(t(2, 0), 7.0);
+  EXPECT_DOUBLE_EQ(t(0, 1), -1.0);
+}
+
+TEST(Matrix, MultiplyAgainstHandResult) {
+  Matrix a(2, 2), b(2, 2);
+  a(0, 0) = 1; a(0, 1) = 2; a(1, 0) = 3; a(1, 1) = 4;
+  b(0, 0) = 5; b(0, 1) = 6; b(1, 0) = 7; b(1, 1) = 8;
+  const Matrix c = a.multiply(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50);
+}
+
+TEST(Matrix, CholeskyOfIdentityIsIdentity) {
+  const Matrix l = Matrix::identity(4).cholesky();
+  for (int r = 0; r < 4; ++r)
+    for (int c = 0; c < 4; ++c) EXPECT_NEAR(l(r, c), r == c ? 1.0 : 0.0, 1e-12);
+}
+
+TEST(Matrix, CholeskyReconstructsSpdMatrix) {
+  Matrix m(3, 3, 0.0);
+  // SPD matrix built as A^T A + I.
+  m(0, 0) = 4; m(0, 1) = 2; m(0, 2) = 0.5;
+  m(1, 0) = 2; m(1, 1) = 5; m(1, 2) = 1;
+  m(2, 0) = 0.5; m(2, 1) = 1; m(2, 2) = 3;
+  const Matrix l = m.cholesky();
+  const Matrix back = l.multiply(l.transposed());
+  for (int r = 0; r < 3; ++r)
+    for (int c = 0; c < 3; ++c) EXPECT_NEAR(back(r, c), m(r, c), 1e-9);
+}
+
+TEST(Matrix, CholeskyLowerTriangular) {
+  Matrix m = Matrix::identity(3);
+  m(0, 1) = m(1, 0) = 0.5;
+  const Matrix l = m.cholesky();
+  EXPECT_NEAR(l(0, 1), 0.0, 1e-12);
+  EXPECT_NEAR(l(0, 2), 0.0, 1e-12);
+  EXPECT_NEAR(l(1, 2), 0.0, 1e-12);
+}
+
+TEST(Matrix, CholeskyJittersNearSingular) {
+  // Rank-deficient covariance: jitter must make it factorizable.
+  Matrix m(2, 2, 0.0);
+  m.add_outer({1.0, 1.0}, 1.0);  // rank one
+  const Matrix l = m.cholesky();
+  EXPECT_GT(l(0, 0), 0.0);
+  EXPECT_GT(l(1, 1), 0.0);
+}
+
+TEST(Matrix, SymmetrizeAveragesOffDiagonal) {
+  Matrix m(2, 2, 0.0);
+  m(0, 1) = 1.0;
+  m(1, 0) = 3.0;
+  m.symmetrize();
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 2.0);
+}
+
+TEST(Matrix, MaxAbs) {
+  Matrix m(2, 2, 0.0);
+  m(1, 0) = -5.0;
+  m(0, 1) = 3.0;
+  EXPECT_DOUBLE_EQ(m.max_abs(), 5.0);
+  EXPECT_DOUBLE_EQ(Matrix().max_abs(), 0.0);
+}
+
+}  // namespace
+}  // namespace naas::core

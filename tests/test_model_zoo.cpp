@@ -1,0 +1,106 @@
+#include "nn/model_zoo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace naas::nn {
+namespace {
+
+TEST(ModelZoo, Vgg16ShapeAndMacs) {
+  const Network n = make_vgg16();
+  EXPECT_EQ(n.num_layers(), 16);  // 13 convs + 3 FC
+  // Published VGG16 compute is ~15.5 GMACs at 224x224.
+  EXPECT_NEAR(static_cast<double>(n.total_macs()), 15.5e9, 0.5e9);
+  // ~138M parameters dominated by FC6.
+  EXPECT_NEAR(static_cast<double>(n.total_weights()), 138.3e6, 2e6);
+}
+
+TEST(ModelZoo, Resnet50ShapeAndMacs) {
+  const Network n = make_resnet50();
+  // 1 stem + 16 blocks x 3 convs + 4 projections + 1 FC = 54
+  EXPECT_EQ(n.num_layers(), 54);
+  // Published ResNet50 is ~4.1 GMACs.
+  EXPECT_NEAR(static_cast<double>(n.total_macs()), 4.1e9, 0.4e9);
+  EXPECT_NEAR(static_cast<double>(n.total_weights()), 25.5e6, 2e6);
+}
+
+TEST(ModelZoo, UnetIsLargest) {
+  const Network n = make_unet();
+  EXPECT_GT(n.total_macs(), make_vgg16().total_macs());
+  EXPECT_EQ(n.layers().front().in_channels, 3);
+  EXPECT_EQ(n.layers().back().out_channels, 2);
+}
+
+TEST(ModelZoo, MobileNetV2HasDepthwiseLayers) {
+  const Network n = make_mobilenet_v2();
+  int dw = 0;
+  for (const auto& l : n.layers()) dw += l.kind == LayerKind::kDepthwiseConv;
+  EXPECT_EQ(dw, 17);  // one per inverted-residual block
+  // Published MobileNetV2 is ~0.3 GMACs.
+  EXPECT_NEAR(static_cast<double>(n.total_macs()), 0.32e9, 0.08e9);
+}
+
+TEST(ModelZoo, SqueezeNetFireStructure) {
+  const Network n = make_squeezenet();
+  // conv1 + 8 fires x 3 + conv10 = 26
+  EXPECT_EQ(n.num_layers(), 26);
+  EXPECT_NEAR(static_cast<double>(n.total_macs()), 0.85e9, 0.35e9);
+  EXPECT_LT(n.total_weights(), 1.5e6);  // SqueezeNet's selling point
+}
+
+TEST(ModelZoo, MnasnetStructure) {
+  const Network n = make_mnasnet();
+  int dw = 0, k5 = 0;
+  for (const auto& l : n.layers()) {
+    dw += l.kind == LayerKind::kDepthwiseConv;
+    k5 += l.kernel_h == 5;
+  }
+  EXPECT_EQ(dw, 16);  // sepconv + 15 MBConv blocks
+  EXPECT_GT(k5, 0);   // MNasNet's mixed 3x3/5x5 kernels
+  EXPECT_NEAR(static_cast<double>(n.total_macs()), 0.33e9, 0.1e9);
+}
+
+TEST(ModelZoo, CifarNetIsSmall) {
+  const Network n = make_cifar_net();
+  EXPECT_LT(n.total_macs(), 1e9);
+  EXPECT_EQ(n.layers().front().out_h, 32);
+}
+
+TEST(ModelZoo, BenchmarkSetsMatchPaper) {
+  const auto large = large_benchmarks();
+  ASSERT_EQ(large.size(), 3u);
+  EXPECT_EQ(large[0].name(), "VGG16");
+  EXPECT_EQ(large[1].name(), "ResNet50");
+  EXPECT_EQ(large[2].name(), "UNet");
+  const auto small = small_benchmarks();
+  ASSERT_EQ(small.size(), 3u);
+  EXPECT_EQ(small[0].name(), "MobileNetV2");
+  EXPECT_EQ(small[1].name(), "SqueezeNet");
+  EXPECT_EQ(small[2].name(), "MNasNet");
+}
+
+TEST(ModelZoo, LookupByNameCaseInsensitive) {
+  EXPECT_EQ(make_network("VGG16").name(), "VGG16");
+  EXPECT_EQ(make_network("mobilenetv2").name(), "MobileNetV2");
+  EXPECT_THROW(make_network("alexnet"), std::invalid_argument);
+}
+
+TEST(ModelZoo, BatchPropagatesToAllLayers) {
+  const Network n = make_resnet50(/*batch=*/2);
+  for (const auto& l : n.layers()) EXPECT_EQ(l.batch, 2);
+}
+
+TEST(ModelZoo, ChannelChainingIsConsistent) {
+  // Every conv's input channels must match some producer's output channels;
+  // spot-check the sequential stages of VGG.
+  const Network n = make_vgg16();
+  const auto& layers = n.layers();
+  for (std::size_t i = 1; i < 13; ++i) {
+    EXPECT_EQ(layers[i].in_channels, layers[i - 1].out_channels)
+        << "layer " << i;
+  }
+}
+
+}  // namespace
+}  // namespace naas::nn

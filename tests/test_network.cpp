@@ -1,0 +1,58 @@
+#include "nn/network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace naas::nn {
+namespace {
+
+Network two_block_net() {
+  Network n("tiny", {});
+  n.add(make_conv("a", 3, 8, 3, 1, 8));
+  n.add(make_conv("b", 8, 8, 3, 1, 8));
+  n.add(make_conv("c", 8, 8, 3, 1, 8));  // same shape as b
+  n.add(make_fc("fc", 8, 10));
+  return n;
+}
+
+TEST(Network, TotalsAreSums) {
+  const Network n = two_block_net();
+  long long macs = 0, weights = 0;
+  for (const auto& l : n.layers()) {
+    macs += l.macs();
+    weights += l.weight_elems();
+  }
+  EXPECT_EQ(n.total_macs(), macs);
+  EXPECT_EQ(n.total_weights(), weights);
+  EXPECT_EQ(n.num_layers(), 4);
+}
+
+TEST(Network, UniqueLayersCollapseRepeats) {
+  const auto unique = two_block_net().unique_layers();
+  ASSERT_EQ(unique.size(), 3u);  // a, b(=c), fc
+  int total = 0;
+  for (const auto& [layer, count] : unique) total += count;
+  EXPECT_EQ(total, 4);
+  EXPECT_EQ(unique[1].second, 2);  // the repeated 8->8 conv
+}
+
+TEST(Network, UniqueLayersPreserveFirstSeenOrder) {
+  const auto unique = two_block_net().unique_layers();
+  EXPECT_EQ(unique[0].first.name, "a");
+  EXPECT_EQ(unique[1].first.name, "b");
+  EXPECT_EQ(unique[2].first.name, "fc");
+}
+
+TEST(Network, EmptyNetwork) {
+  const Network n("empty", {});
+  EXPECT_EQ(n.total_macs(), 0);
+  EXPECT_TRUE(n.unique_layers().empty());
+}
+
+TEST(Network, ToStringMentionsNameAndLayers) {
+  const std::string s = two_block_net().to_string();
+  EXPECT_NE(s.find("tiny"), std::string::npos);
+  EXPECT_NE(s.find("4 layers"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace naas::nn

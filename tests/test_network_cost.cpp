@@ -1,0 +1,102 @@
+#include "cost/network_cost.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arch/presets.hpp"
+#include "mapping/canonical.hpp"
+#include "nn/model_zoo.hpp"
+
+namespace naas::cost {
+namespace {
+
+TEST(NetworkCost, AggregatesAreSumsOverLayers) {
+  const CostModel model;
+  const auto arch = arch::nvdla_256_arch();
+  const nn::Network net = nn::make_cifar_net();
+  const NetworkCost nc = evaluate_network_canonical(model, arch, net);
+  ASSERT_TRUE(nc.legal);
+
+  double latency = 0, energy = 0;
+  int layers = 0;
+  for (const auto& lc : nc.per_layer) {
+    latency += lc.report.latency_cycles * lc.count;
+    energy += lc.report.energy_nj * lc.count;
+    layers += lc.count;
+  }
+  EXPECT_DOUBLE_EQ(nc.latency_cycles, latency);
+  EXPECT_DOUBLE_EQ(nc.energy_nj, energy);
+  EXPECT_DOUBLE_EQ(nc.edp, latency * energy);
+  EXPECT_EQ(layers, net.num_layers());
+}
+
+TEST(NetworkCost, UniqueLayerCountsCoverNetwork) {
+  const CostModel model;
+  const auto arch = arch::eyeriss_arch();
+  const nn::Network net = nn::make_resnet50();
+  const NetworkCost nc = evaluate_network_canonical(model, arch, net);
+  ASSERT_TRUE(nc.legal);
+  EXPECT_LT(nc.per_layer.size(), static_cast<std::size_t>(net.num_layers()));
+  int total = 0;
+  for (const auto& lc : nc.per_layer) total += lc.count;
+  EXPECT_EQ(total, net.num_layers());
+}
+
+TEST(NetworkCost, CustomProviderIsUsed) {
+  const CostModel model;
+  const auto arch = arch::nvdla_256_arch();
+  const nn::Network net = nn::make_cifar_net();
+  int calls = 0;
+  const NetworkCost nc = evaluate_network(
+      model, arch, net,
+      [&calls](const arch::ArchConfig& a, const nn::ConvLayer& l) {
+        ++calls;
+        return mapping::canonical_mapping(a, l);
+      });
+  EXPECT_TRUE(nc.legal);
+  EXPECT_EQ(calls, static_cast<int>(nc.per_layer.size()));
+}
+
+TEST(NetworkCost, IllegalLayerPoisonsNetwork) {
+  const CostModel model;
+  const auto arch = arch::nvdla_256_arch();
+  const nn::Network net = nn::make_cifar_net();
+  const NetworkCost nc = evaluate_network(
+      model, arch, net,
+      [](const arch::ArchConfig& a, const nn::ConvLayer& l) {
+        mapping::Mapping m = mapping::canonical_mapping(a, l);
+        mapping::set_tile(m.pe.tile, nn::Dim::kYp, 10000);  // illegal
+        return m;
+      });
+  EXPECT_FALSE(nc.legal);
+  EXPECT_TRUE(std::isinf(nc.edp));
+}
+
+TEST(NetworkCost, NamesPropagate) {
+  const CostModel model;
+  const auto arch = arch::shidiannao_arch();
+  const NetworkCost nc =
+      evaluate_network_canonical(model, arch, nn::make_squeezenet());
+  EXPECT_EQ(nc.network_name, "SqueezeNet");
+  EXPECT_EQ(nc.arch_name, "ShiDianNao");
+}
+
+TEST(NetworkCost, AllBenchmarksFiniteOnAllPresets) {
+  const CostModel model;
+  for (const auto& arch :
+       {arch::edge_tpu_arch(), arch::nvdla_1024_arch(), arch::nvdla_256_arch(),
+        arch::eyeriss_arch(), arch::shidiannao_arch()}) {
+    for (const auto& net : {nn::make_vgg16(), nn::make_resnet50(),
+                            nn::make_unet(), nn::make_mobilenet_v2(),
+                            nn::make_squeezenet(), nn::make_mnasnet()}) {
+      const NetworkCost nc = evaluate_network_canonical(model, arch, net);
+      EXPECT_TRUE(nc.legal) << arch.name << "/" << net.name();
+      EXPECT_TRUE(std::isfinite(nc.edp));
+      EXPECT_GT(nc.edp, 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace naas::cost

@@ -1,0 +1,158 @@
+#include "nn/ofa_space.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace naas::nn {
+namespace {
+
+TEST(OfaSpace, FullConfigIsMaximal) {
+  const OfaConfig cfg = OfaSpace::full_config();
+  EXPECT_EQ(cfg.depths, OfaSpace::kMaxDepths);
+  EXPECT_EQ(cfg.width_idx, 2);
+  const int total =
+      std::accumulate(cfg.depths.begin(), cfg.depths.end(), 0);
+  EXPECT_EQ(total, 18);  // "18 residual blocks at maximum"
+}
+
+TEST(OfaSpace, ResNet50ConfigMatchesClassicDepths) {
+  const OfaConfig cfg = OfaSpace::resnet50_config();
+  EXPECT_EQ(cfg.depths, (std::array<int, 4>{3, 4, 6, 3}));
+  EXPECT_EQ(cfg.image_size, 224);
+  const OfaSpace space;
+  EXPECT_EQ(space.repair(cfg).depths, cfg.depths);  // valid as-is
+}
+
+TEST(OfaSpace, SampleIsAlwaysValid) {
+  const OfaSpace space;
+  core::Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const OfaConfig cfg = space.sample(rng);
+    EXPECT_GE(cfg.image_size, OfaSpace::kMinImage);
+    EXPECT_LE(cfg.image_size, OfaSpace::kMaxImage);
+    EXPECT_EQ((cfg.image_size - OfaSpace::kMinImage) % OfaSpace::kImageStride,
+              0);
+    EXPECT_GE(cfg.width_idx, 0);
+    EXPECT_LE(cfg.width_idx, 2);
+    for (std::size_t s = 0; s < 4; ++s) {
+      EXPECT_GE(cfg.depths[s], OfaSpace::kMinDepths[s]);
+      EXPECT_LE(cfg.depths[s], OfaSpace::kMaxDepths[s]);
+    }
+  }
+}
+
+TEST(OfaSpace, MutateAlwaysChangesSomething) {
+  const OfaSpace space;
+  core::Rng rng(7);
+  const OfaConfig base = OfaSpace::resnet50_config();
+  for (int i = 0; i < 100; ++i) {
+    const OfaConfig m = space.mutate(base, rng, 0.0);  // rate 0 => forced flip
+    EXPECT_NE(m.fingerprint(), base.fingerprint());
+  }
+}
+
+TEST(OfaSpace, CrossoverGenesComeFromParents) {
+  const OfaSpace space;
+  core::Rng rng(11);
+  OfaConfig a = OfaSpace::full_config();
+  OfaConfig b = space.repair([] {
+    OfaConfig c;
+    c.image_size = 128;
+    c.width_idx = 0;
+    c.depths = {2, 2, 2, 2};
+    c.expand_idx.fill(0);
+    return c;
+  }());
+  for (int i = 0; i < 50; ++i) {
+    const OfaConfig child = space.crossover(a, b, rng);
+    EXPECT_TRUE(child.image_size == a.image_size ||
+                child.image_size == b.image_size);
+    EXPECT_TRUE(child.width_idx == a.width_idx ||
+                child.width_idx == b.width_idx);
+    for (std::size_t s = 0; s < 4; ++s)
+      EXPECT_TRUE(child.depths[s] == a.depths[s] ||
+                  child.depths[s] == b.depths[s]);
+  }
+}
+
+TEST(OfaSpace, RepairClampsOutOfRange) {
+  const OfaSpace space;
+  OfaConfig bad;
+  bad.image_size = 999;
+  bad.width_idx = 7;
+  bad.depths = {0, 99, 1, -3};
+  bad.expand_idx.fill(9);
+  const OfaConfig fixed = space.repair(bad);
+  EXPECT_EQ(fixed.image_size, 256);
+  EXPECT_EQ(fixed.width_idx, 2);
+  for (std::size_t s = 0; s < 4; ++s) {
+    EXPECT_GE(fixed.depths[s], OfaSpace::kMinDepths[s]);
+    EXPECT_LE(fixed.depths[s], OfaSpace::kMaxDepths[s]);
+  }
+  for (int e : fixed.expand_idx) EXPECT_LE(e, 2);
+}
+
+TEST(OfaSpace, RepairSnapsImageToStride) {
+  const OfaSpace space;
+  OfaConfig cfg = OfaSpace::resnet50_config();
+  cfg.image_size = 150;  // not a multiple of 16 above 128
+  EXPECT_EQ(space.repair(cfg).image_size, 144);
+}
+
+TEST(OfaSpace, ToNetworkStructure) {
+  const OfaSpace space;
+  const Network net = space.to_network(OfaSpace::resnet50_config());
+  // stem + 16 blocks x 3 + 4 projections + fc = 54, same as ResNet50.
+  EXPECT_EQ(net.num_layers(), 54);
+  EXPECT_EQ(net.layers().front().kernel_h, 7);
+  EXPECT_EQ(net.layers().back().out_channels, 1000);
+  // Classic expand 0.25 widths: stage1 mid = 64.
+  EXPECT_EQ(net.layers()[1].out_channels, 64);
+}
+
+TEST(OfaSpace, WidthMultiplierScalesChannels) {
+  const OfaSpace space;
+  OfaConfig narrow = OfaSpace::resnet50_config();
+  narrow.width_idx = 0;  // 0.65
+  const Network net = space.to_network(narrow);
+  // stem: round(64 * 0.65 / 8) * 8 = 40
+  EXPECT_EQ(net.layers().front().out_channels, 40);
+}
+
+TEST(OfaSpace, ImageSizeScalesSpatialDims) {
+  const OfaSpace space;
+  OfaConfig small = OfaSpace::resnet50_config();
+  small.image_size = 128;
+  const Network net = space.to_network(small);
+  EXPECT_EQ(net.layers().front().out_h, 64);   // stem stride 2
+  EXPECT_EQ(net.layers()[1].out_h, 32);        // after maxpool
+}
+
+TEST(OfaSpace, DepthChangesBlockCount) {
+  const OfaSpace space;
+  OfaConfig shallow = OfaSpace::resnet50_config();
+  shallow.depths = {2, 2, 2, 2};
+  const Network net = space.to_network(space.repair(shallow));
+  // stem + 8 blocks x 3 + 4 projections + fc
+  EXPECT_EQ(net.num_layers(), 1 + 8 * 3 + 4 + 1);
+}
+
+TEST(OfaSpace, SpaceSizeMatchesPaperOrder) {
+  // The paper quotes ~1e13 neural architectures.
+  const double log10 = OfaSpace().log10_space_size();
+  EXPECT_GT(log10, 11.0);
+  EXPECT_LT(log10, 15.0);
+}
+
+TEST(OfaSpace, FingerprintIgnoresInactiveExpandGenes) {
+  OfaConfig a = OfaSpace::resnet50_config();
+  OfaConfig b = a;
+  // Gene beyond sum(depths)=16 is inactive; changing it must not alter the
+  // fingerprint (the decoded subnet is identical).
+  b.expand_idx[17] = (b.expand_idx[17] + 1) % 3;
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+}
+
+}  // namespace
+}  // namespace naas::nn

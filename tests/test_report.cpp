@@ -1,0 +1,60 @@
+#include "cost/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "arch/presets.hpp"
+#include "mapping/canonical.hpp"
+#include "nn/model_zoo.hpp"
+
+namespace naas::cost {
+namespace {
+
+TEST(Report, LayerReportContainsAllSections) {
+  const CostModel model;
+  const auto arch = arch::nvdla_256_arch();
+  const nn::ConvLayer layer = nn::make_conv("c", 64, 64, 3, 1, 28);
+  const auto rep =
+      model.evaluate(arch, layer, mapping::canonical_mapping(arch, layer));
+  const std::string s = format_report(rep);
+  EXPECT_NE(s.find("latency"), std::string::npos);
+  EXPECT_NE(s.find("PE utilization"), std::string::npos);
+  EXPECT_NE(s.find("DRAM"), std::string::npos);
+  EXPECT_NE(s.find("MAC"), std::string::npos);
+  EXPECT_NE(s.find("Reduction hops"), std::string::npos);
+}
+
+TEST(Report, SharesSumToRoughlyHundredPercent) {
+  const CostModel model;
+  const auto arch = arch::eyeriss_arch();
+  const nn::ConvLayer layer = nn::make_conv("c", 96, 96, 3, 1, 14);
+  const auto rep =
+      model.evaluate(arch, layer, mapping::canonical_mapping(arch, layer));
+  // The five component energies must reconstruct the total.
+  EXPECT_NEAR(rep.energy.mac_pj + rep.energy.l1_pj + rep.energy.l2_pj +
+                  rep.energy.noc_pj + rep.energy.dram_pj,
+              rep.energy.total_pj(), 1e-6 * rep.energy.total_pj());
+}
+
+TEST(Report, IllegalReportSaysWhy) {
+  CostReport rep;
+  rep.legal = false;
+  rep.illegal_reason = "pe tile exceeds share for K";
+  const std::string s = format_report(rep);
+  EXPECT_NE(s.find("ILLEGAL"), std::string::npos);
+  EXPECT_NE(s.find("exceeds share"), std::string::npos);
+}
+
+TEST(Report, NetworkReportListsUniqueLayersAndTotals) {
+  const CostModel model;
+  const auto arch = arch::nvdla_256_arch();
+  const auto nc =
+      evaluate_network_canonical(model, arch, nn::make_cifar_net());
+  const std::string s = format_network_cost(nc);
+  EXPECT_NE(s.find("CifarNet on NVDLA-256"), std::string::npos);
+  EXPECT_NE(s.find("total:"), std::string::npos);
+  EXPECT_NE(s.find("Time share"), std::string::npos);
+  EXPECT_NE(s.find("conv0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace naas::cost

@@ -1,0 +1,82 @@
+#include "arch/resources.hpp"
+
+#include <gtest/gtest.h>
+
+#include "arch/presets.hpp"
+
+namespace naas::arch {
+namespace {
+
+TEST(Resources, BaselinesFitTheirOwnEnvelopes) {
+  EXPECT_TRUE(edge_tpu_resources().allows(edge_tpu_arch()));
+  EXPECT_TRUE(nvdla_1024_resources().allows(nvdla_1024_arch()));
+  EXPECT_TRUE(nvdla_256_resources().allows(nvdla_256_arch()));
+  EXPECT_TRUE(eyeriss_resources().allows(eyeriss_arch()));
+  EXPECT_TRUE(shidiannao_resources().allows(shidiannao_arch()));
+}
+
+TEST(Resources, RejectsTooManyPes) {
+  ArchConfig cfg = nvdla_256_arch();
+  cfg.array_dims = {32, 32, 1};  // 1024 > 256
+  EXPECT_FALSE(nvdla_256_resources().allows(cfg));
+}
+
+TEST(Resources, RejectsTooMuchSram) {
+  ArchConfig cfg = eyeriss_arch();
+  cfg.l2_bytes = 10LL * 1024 * 1024;
+  EXPECT_FALSE(eyeriss_resources().allows(cfg));
+}
+
+TEST(Resources, RejectsExcessBandwidth) {
+  ArchConfig cfg = shidiannao_arch();
+  cfg.noc_bandwidth = 1024;
+  EXPECT_FALSE(shidiannao_resources().allows(cfg));
+}
+
+TEST(Resources, RejectsStructurallyInvalid) {
+  ArchConfig cfg = nvdla_256_arch();
+  cfg.parallel_dims = {nn::Dim::kK, nn::Dim::kK, nn::Dim::kC};
+  EXPECT_FALSE(nvdla_256_resources().allows(cfg));
+}
+
+TEST(Resources, EnvelopeOrderingMatchesDeploymentScale) {
+  // EdgeTPU > NVDLA-1024 > NVDLA-256 > Eyeriss-ish > ShiDianNao in compute.
+  const auto all = all_resource_envelopes();
+  ASSERT_EQ(all.size(), 5u);
+  EXPECT_GT(all[0].max_pes, all[1].max_pes);
+  EXPECT_GT(all[1].max_pes, all[2].max_pes);
+  EXPECT_GT(all[2].max_pes, all[3].max_pes);
+}
+
+TEST(Resources, ShidiannaoAdmitsFig7c3dArray) {
+  // DESIGN.md documents max_pes=144 so the 4x6x6 3D array of Fig. 7c is
+  // admissible.
+  ArchConfig cfg;
+  cfg.name = "fig7c";
+  cfg.num_array_dims = 3;
+  cfg.array_dims = {4, 6, 6};
+  cfg.parallel_dims = {nn::Dim::kC, nn::Dim::kK, nn::Dim::kXp};
+  cfg.l1_bytes = 272;
+  cfg.l2_bytes = 200LL * 1024;
+  cfg.noc_bandwidth = 32;
+  cfg.dram_bandwidth = 16;
+  EXPECT_TRUE(shidiannao_resources().allows(cfg));
+}
+
+TEST(Resources, BaselineForLookup) {
+  for (const auto& rc : all_resource_envelopes()) {
+    EXPECT_EQ(baseline_for(rc).name, rc.name);
+  }
+  ResourceConstraint unknown;
+  unknown.name = "TPUv9";
+  EXPECT_THROW(baseline_for(unknown), std::invalid_argument);
+}
+
+TEST(Resources, ToStringMentionsLimits) {
+  const std::string s = eyeriss_resources().to_string();
+  EXPECT_NE(s.find("Eyeriss"), std::string::npos);
+  EXPECT_NE(s.find("168"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace naas::arch

@@ -1,0 +1,140 @@
+#include "cost/reuse.hpp"
+
+#include <gtest/gtest.h>
+
+namespace naas::cost {
+namespace {
+
+using nn::Dim;
+using nn::LayerKind;
+
+TripCounts trips(long long n, long long k, long long c, long long yp,
+                 long long xp, long long r, long long s) {
+  TripCounts t{};
+  t[static_cast<int>(Dim::kN)] = n;
+  t[static_cast<int>(Dim::kK)] = k;
+  t[static_cast<int>(Dim::kC)] = c;
+  t[static_cast<int>(Dim::kYp)] = yp;
+  t[static_cast<int>(Dim::kXp)] = xp;
+  t[static_cast<int>(Dim::kR)] = r;
+  t[static_cast<int>(Dim::kS)] = s;
+  return t;
+}
+
+TEST(Reuse, RelevanceStandardConv) {
+  EXPECT_TRUE(is_relevant(Tensor::kInput, Dim::kC, LayerKind::kConv));
+  EXPECT_FALSE(is_relevant(Tensor::kInput, Dim::kK, LayerKind::kConv));
+  EXPECT_TRUE(is_relevant(Tensor::kWeight, Dim::kK, LayerKind::kConv));
+  EXPECT_FALSE(is_relevant(Tensor::kWeight, Dim::kYp, LayerKind::kConv));
+  EXPECT_TRUE(is_relevant(Tensor::kOutput, Dim::kXp, LayerKind::kConv));
+  EXPECT_FALSE(is_relevant(Tensor::kOutput, Dim::kR, LayerKind::kConv));
+}
+
+TEST(Reuse, RelevanceDepthwiseSwapsChannelRole) {
+  EXPECT_TRUE(
+      is_relevant(Tensor::kInput, Dim::kK, LayerKind::kDepthwiseConv));
+  EXPECT_FALSE(
+      is_relevant(Tensor::kInput, Dim::kC, LayerKind::kDepthwiseConv));
+  EXPECT_FALSE(
+      is_relevant(Tensor::kWeight, Dim::kC, LayerKind::kDepthwiseConv));
+}
+
+TEST(Reuse, ReductionDims) {
+  EXPECT_TRUE(is_reduction(Dim::kC, LayerKind::kConv));
+  EXPECT_TRUE(is_reduction(Dim::kR, LayerKind::kConv));
+  EXPECT_FALSE(is_reduction(Dim::kK, LayerKind::kConv));
+  EXPECT_FALSE(is_reduction(Dim::kC, LayerKind::kDepthwiseConv));
+  EXPECT_TRUE(is_reduction(Dim::kS, LayerKind::kDepthwiseConv));
+}
+
+TEST(Reuse, WeightStationaryOrderGivesCompulsoryWeightTraffic) {
+  // Order K,C,R,S,N,Y',X' : all weight-irrelevant loops (N,Y',X') are the
+  // innermost run => weight reload = product of relevant trips only.
+  const mapping::LoopOrder order{Dim::kK, Dim::kC, Dim::kR, Dim::kS,
+                                 Dim::kN, Dim::kYp, Dim::kXp};
+  const TripCounts t = trips(1, 4, 8, 14, 14, 1, 1);
+  EXPECT_DOUBLE_EQ(reload_factor(order, t, Tensor::kWeight, LayerKind::kConv),
+                   4.0 * 8.0);
+  EXPECT_DOUBLE_EQ(distinct_tiles(t, Tensor::kWeight, LayerKind::kConv),
+                   4.0 * 8.0);
+}
+
+TEST(Reuse, OutputIrrelevantLoopOutsideForcesRevisits) {
+  // C outermost with output loops inside => every C trip revisits outputs.
+  const mapping::LoopOrder order{Dim::kC, Dim::kN, Dim::kK, Dim::kYp,
+                                 Dim::kXp, Dim::kR, Dim::kS};
+  const TripCounts t = trips(1, 4, 8, 2, 2, 1, 1);
+  const double f = reload_factor(order, t, Tensor::kOutput, LayerKind::kConv);
+  EXPECT_DOUBLE_EQ(f, 8.0 * 4.0 * 2.0 * 2.0);  // 8 revisits of 16 tiles
+  EXPECT_DOUBLE_EQ(distinct_tiles(t, Tensor::kOutput, LayerKind::kConv),
+                   16.0);
+}
+
+TEST(Reuse, OutputStationaryOrderAvoidsRevisits) {
+  const mapping::LoopOrder order{Dim::kN, Dim::kK, Dim::kYp, Dim::kXp,
+                                 Dim::kC, Dim::kR, Dim::kS};
+  const TripCounts t = trips(1, 4, 8, 2, 2, 3, 3);
+  EXPECT_DOUBLE_EQ(reload_factor(order, t, Tensor::kOutput, LayerKind::kConv),
+                   distinct_tiles(t, Tensor::kOutput, LayerKind::kConv));
+}
+
+TEST(Reuse, IrrelevantLoopBetweenRelevantCounts) {
+  // Weight: relevant K,C,R,S. Order K,Y',C,...: Y' sits between relevant
+  // loops, so it multiplies the weight reload factor.
+  const mapping::LoopOrder order{Dim::kK, Dim::kYp, Dim::kC, Dim::kR,
+                                 Dim::kS, Dim::kN, Dim::kXp};
+  const TripCounts t = trips(1, 4, 8, 14, 7, 1, 1);
+  EXPECT_DOUBLE_EQ(reload_factor(order, t, Tensor::kWeight, LayerKind::kConv),
+                   4.0 * 14.0 * 8.0);
+}
+
+TEST(Reuse, UnitTripsNeverChangeFactor) {
+  const TripCounts t = trips(1, 1, 1, 1, 1, 1, 1);
+  for (Tensor tensor :
+       {Tensor::kInput, Tensor::kWeight, Tensor::kOutput}) {
+    EXPECT_DOUBLE_EQ(
+        reload_factor(mapping::default_order(), t, tensor, LayerKind::kConv),
+        1.0);
+  }
+}
+
+TEST(Reuse, ReloadAtLeastDistinct) {
+  // Property: reload factor >= number of distinct tiles (compulsory misses).
+  const TripCounts t = trips(2, 3, 4, 5, 6, 2, 2);
+  const mapping::LoopOrder orders[] = {
+      mapping::default_order(),
+      {Dim::kS, Dim::kR, Dim::kXp, Dim::kYp, Dim::kC, Dim::kK, Dim::kN},
+      {Dim::kC, Dim::kK, Dim::kS, Dim::kYp, Dim::kN, Dim::kXp, Dim::kR},
+  };
+  for (const auto& order : orders) {
+    for (Tensor tensor :
+         {Tensor::kInput, Tensor::kWeight, Tensor::kOutput}) {
+      EXPECT_GE(reload_factor(order, t, tensor, LayerKind::kConv),
+                distinct_tiles(t, tensor, LayerKind::kConv));
+    }
+  }
+}
+
+TEST(Reuse, RegisterReuseCountsInnermostIrrelevantRun) {
+  // Weight with X' innermost (trip 7): register holds the weight 7 cycles.
+  const mapping::LoopOrder order{Dim::kN, Dim::kK, Dim::kC, Dim::kR,
+                                 Dim::kS, Dim::kYp, Dim::kXp};
+  const TripCounts t = trips(1, 4, 8, 5, 7, 3, 3);
+  EXPECT_DOUBLE_EQ(register_reuse(order, t, Tensor::kWeight, LayerKind::kConv),
+                   7.0 * 5.0);  // X' and Y' both irrelevant to weights
+  EXPECT_DOUBLE_EQ(register_reuse(order, t, Tensor::kInput, LayerKind::kConv),
+                   1.0);  // X' is input-relevant
+  EXPECT_DOUBLE_EQ(register_reuse(order, t, Tensor::kOutput, LayerKind::kConv),
+                   1.0);
+}
+
+TEST(Reuse, AccumulatorReuseWithReductionInnermost) {
+  const mapping::LoopOrder order{Dim::kN, Dim::kK, Dim::kYp, Dim::kXp,
+                                 Dim::kC, Dim::kR, Dim::kS};
+  const TripCounts t = trips(1, 4, 8, 5, 7, 3, 3);
+  EXPECT_DOUBLE_EQ(register_reuse(order, t, Tensor::kOutput, LayerKind::kConv),
+                   8.0 * 3.0 * 3.0);
+}
+
+}  // namespace
+}  // namespace naas::cost

@@ -1,0 +1,67 @@
+#include "core/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace naas::core {
+namespace {
+
+TEST(Stats, MeanBasics) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(mean({5.0}), 5.0);
+  EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(Stats, StddevBasics) {
+  EXPECT_DOUBLE_EQ(stddev({}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev({1.0}), 0.0);
+  EXPECT_NEAR(stddev({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}),
+              std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Stats, GeomeanBasics) {
+  EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+  EXPECT_NEAR(geomean({4.0}), 4.0, 1e-12);
+  EXPECT_NEAR(geomean({1.0, 100.0}), 10.0, 1e-9);
+  EXPECT_NEAR(geomean({2.0, 8.0}), 4.0, 1e-12);
+}
+
+TEST(Stats, GeomeanClampsNonPositive) {
+  // A zero must not collapse the aggregate to zero exactly, but it should
+  // drag it far down.
+  const double g = geomean({0.0, 1e10});
+  EXPECT_GT(g, 0.0);
+  EXPECT_LT(g, 1.0);
+}
+
+TEST(Stats, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(median({}), 0.0);
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 3.0, 2.0}), 2.5);
+}
+
+TEST(Stats, ArgminArgmax) {
+  EXPECT_EQ(argmin({}), -1);
+  EXPECT_EQ(argmax({}), -1);
+  EXPECT_EQ(argmin({3.0, 1.0, 2.0, 1.0}), 1);  // first of the ties
+  EXPECT_EQ(argmax({3.0, 5.0, 5.0}), 1);
+}
+
+TEST(Stats, RanksAscending) {
+  const auto r = ranks_ascending({10.0, 5.0, 20.0});
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_EQ(r[0], 1);
+  EXPECT_EQ(r[1], 0);
+  EXPECT_EQ(r[2], 2);
+}
+
+TEST(Stats, RanksTiesStableByIndex) {
+  const auto r = ranks_ascending({1.0, 1.0, 0.5});
+  EXPECT_EQ(r[2], 0);
+  EXPECT_EQ(r[0], 1);
+  EXPECT_EQ(r[1], 2);
+}
+
+}  // namespace
+}  // namespace naas::core

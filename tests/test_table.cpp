@@ -1,0 +1,61 @@
+#include "core/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace naas::core {
+namespace {
+
+TEST(Table, FormatFixed) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt(2.0, 0), "2");
+  EXPECT_EQ(Table::fmt(-1.5, 1), "-1.5");
+}
+
+TEST(Table, FormatScientific) {
+  EXPECT_EQ(Table::fmt_sci(3.0e14, 1), "3.0e+14");
+  EXPECT_EQ(Table::fmt_sci(0.002, 0), "2e-03");
+}
+
+TEST(Table, FormatIntThousands) {
+  EXPECT_EQ(Table::fmt_int(0), "0");
+  EXPECT_EQ(Table::fmt_int(999), "999");
+  EXPECT_EQ(Table::fmt_int(1000), "1,000");
+  EXPECT_EQ(Table::fmt_int(1234567), "1,234,567");
+  EXPECT_EQ(Table::fmt_int(-12345), "-12,345");
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"A", "Metric"});
+  t.add_row({"x", "1.0"});
+  t.add_row({"longer", "2.5"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("A       Metric"), std::string::npos);
+  EXPECT_NE(s.find("longer  2.5"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+TEST(Table, HandlesRaggedRows) {
+  Table t({"A", "B"});
+  t.add_row({"only"});
+  t.add_row({"x", "y", "extra"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("extra"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2);
+}
+
+TEST(Table, CsvEscaping) {
+  Table t({"name", "value"});
+  t.add_row({"a,b", "he said \"hi\""});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"he said \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, CsvRoundTripSimple) {
+  Table t({"h1", "h2"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "h1,h2\n1,2\n");
+}
+
+}  // namespace
+}  // namespace naas::core

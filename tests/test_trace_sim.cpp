@@ -1,0 +1,114 @@
+#include "cost/trace_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+#include "cost/reuse.hpp"
+
+namespace naas::cost {
+namespace {
+
+using nn::Dim;
+using nn::LayerKind;
+
+TripCounts trips(long long n, long long k, long long c, long long yp,
+                 long long xp, long long r, long long s) {
+  TripCounts t{};
+  t[static_cast<int>(Dim::kN)] = n;
+  t[static_cast<int>(Dim::kK)] = k;
+  t[static_cast<int>(Dim::kC)] = c;
+  t[static_cast<int>(Dim::kYp)] = yp;
+  t[static_cast<int>(Dim::kXp)] = xp;
+  t[static_cast<int>(Dim::kR)] = r;
+  t[static_cast<int>(Dim::kS)] = s;
+  return t;
+}
+
+TEST(TraceSim, WeightStationaryCompulsory) {
+  const mapping::LoopOrder order{Dim::kK, Dim::kC, Dim::kR, Dim::kS,
+                                 Dim::kN, Dim::kYp, Dim::kXp};
+  const TripCounts t = trips(1, 3, 4, 5, 6, 1, 1);
+  const auto counts =
+      TraceSimulator::run(order, t, Tensor::kWeight, LayerKind::kConv);
+  EXPECT_EQ(counts.fetches, 12);  // one fetch per distinct (K,C) tile
+}
+
+TEST(TraceSim, OutputRevisitsCountReadbacks) {
+  // C outside the output loops: every C trip revisits all output tiles.
+  const mapping::LoopOrder order{Dim::kC, Dim::kN, Dim::kK, Dim::kYp,
+                                 Dim::kXp, Dim::kR, Dim::kS};
+  const TripCounts t = trips(1, 2, 3, 2, 1, 1, 1);
+  const auto counts =
+      TraceSimulator::run(order, t, Tensor::kOutput, LayerKind::kConv);
+  EXPECT_EQ(counts.fetches, 12);     // 3 sweeps of 4 tiles
+  EXPECT_EQ(counts.writebacks, 12);  // every eviction spills partials
+  EXPECT_EQ(counts.readbacks, 8);    // sweeps 2 and 3 re-read
+}
+
+TEST(TraceSim, SingleTripRelevantLoopDoesNotBlockReuse) {
+  // Y' is relevant but iterates once: the tile stays resident across the
+  // outer irrelevant C loop (the case that motivated the trip-1 rule in
+  // reload_factor).
+  const mapping::LoopOrder order{Dim::kC, Dim::kYp, Dim::kN, Dim::kK,
+                                 Dim::kXp, Dim::kR, Dim::kS};
+  const TripCounts t = trips(1, 1, 4, 1, 1, 1, 1);
+  const auto counts =
+      TraceSimulator::run(order, t, Tensor::kOutput, LayerKind::kConv);
+  EXPECT_EQ(counts.fetches, 1);
+  EXPECT_EQ(
+      reload_factor(order, t, Tensor::kOutput, LayerKind::kConv), 1.0);
+}
+
+TEST(TraceSim, RejectsHugeIterationSpaces) {
+  const TripCounts t = trips(100, 100, 100, 100, 100, 2, 2);
+  EXPECT_THROW(TraceSimulator::run(mapping::default_order(), t,
+                                   Tensor::kInput, LayerKind::kConv),
+               std::invalid_argument);
+}
+
+/// The load-bearing validation: for randomized loop orders and trip
+/// counts, the analytical reload_factor must equal the exact trace count
+/// for every tensor, and output writeback/readback identities must hold.
+class TraceVsAnalytical : public ::testing::TestWithParam<int> {};
+
+TEST_P(TraceVsAnalytical, ReloadFactorMatchesExactTrace) {
+  core::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  for (int trial = 0; trial < 40; ++trial) {
+    // Random order.
+    mapping::LoopOrder order = mapping::default_order();
+    std::vector<nn::Dim> dims(order.begin(), order.end());
+    rng.shuffle(dims);
+    for (int i = 0; i < nn::kNumDims; ++i)
+      order[static_cast<std::size_t>(i)] = dims[static_cast<std::size_t>(i)];
+    // Random trips in [1, 4] (iteration space <= 4^7 = 16384).
+    TripCounts t{};
+    for (auto& v : t) v = rng.uniform_int(1, 4);
+
+    const LayerKind kind = GetParam() % 2 == 0 ? LayerKind::kConv
+                                               : LayerKind::kDepthwiseConv;
+    if (kind == LayerKind::kDepthwiseConv)
+      t[static_cast<int>(Dim::kC)] = 1;  // depthwise has no C extent
+
+    for (Tensor tensor :
+         {Tensor::kInput, Tensor::kWeight, Tensor::kOutput}) {
+      const auto counts = TraceSimulator::run(order, t, tensor, kind);
+      const double analytical = reload_factor(order, t, tensor, kind);
+      EXPECT_DOUBLE_EQ(analytical,
+                       static_cast<double>(counts.fetches))
+          << tensor_name(tensor) << " order "
+          << mapping::order_to_string(order);
+      if (tensor == Tensor::kOutput) {
+        EXPECT_EQ(counts.writebacks, counts.fetches);
+        const double distinct = distinct_tiles(t, tensor, kind);
+        EXPECT_DOUBLE_EQ(static_cast<double>(counts.readbacks),
+                         static_cast<double>(counts.fetches) - distinct);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomizedSweeps, TraceVsAnalytical,
+                         ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace naas::cost
