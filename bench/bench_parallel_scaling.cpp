@@ -1,0 +1,198 @@
+// Parallel evaluation engine scaling: serial-vs-parallel wall time and
+// evaluations/sec for the fig6-style single-network NAAS search, plus the
+// layer-deduplication constant-factor win. Emits BENCH_parallel.json for
+// CI trend tracking.
+//
+// Determinism is asserted, not assumed: every multi-threaded run's
+// best_geomean_edp is compared bit-for-bit against the serial run before
+// the numbers are reported.
+
+#include "bench_common.hpp"
+
+#include <algorithm>
+
+#include "core/thread_pool.hpp"
+
+namespace {
+
+using namespace naas;
+
+struct ScalingRun {
+  int num_threads = 1;
+  double wall_seconds = 0;
+  long long cost_evaluations = 0;
+  double evals_per_sec = 0;
+  double speedup = 1.0;
+  double best_geomean_edp = 0;
+  bool bit_identical_to_serial = true;
+};
+
+std::vector<int> thread_counts() {
+  std::vector<int> counts{1, 2, 4};
+  const int hw = core::ThreadPool::default_num_threads();
+  if (std::find(counts.begin(), counts.end(), hw) == counts.end())
+    counts.push_back(hw);
+  return counts;
+}
+
+void reproduce_scaling(const bench::Budget& budget) {
+  bench::print_header(
+      "Parallel scaling: fig6 single-network search, 1..N threads");
+
+  const cost::CostModel model;
+  const std::vector<nn::Network> nets{nn::make_squeezenet()};
+  const auto rc = arch::nvdla_256_resources();
+
+  std::vector<ScalingRun> runs;
+  for (int t : thread_counts()) {
+    search::NaasOptions opts = budget.naas_options(rc);
+    opts.num_threads = t;
+    const auto res = search::run_naas(model, opts, nets);
+    ScalingRun run;
+    run.num_threads = t;
+    run.wall_seconds = res.wall_seconds;
+    run.cost_evaluations = res.cost_evaluations;
+    run.evals_per_sec = res.wall_seconds > 0
+                            ? res.cost_evaluations / res.wall_seconds
+                            : 0;
+    run.best_geomean_edp = res.best_geomean_edp;
+    if (!runs.empty()) {
+      run.speedup = runs.front().wall_seconds / run.wall_seconds;
+      run.bit_identical_to_serial =
+          res.best_geomean_edp == runs.front().best_geomean_edp &&
+          res.cost_evaluations == runs.front().cost_evaluations;
+    }
+    runs.push_back(run);
+  }
+
+  core::Table t({"Threads", "Wall (s)", "Evals/s", "Speedup",
+                 "Identical to serial"});
+  for (const auto& r : runs) {
+    t.add_row({core::Table::fmt_int(r.num_threads),
+               core::Table::fmt(r.wall_seconds, 3),
+               core::Table::fmt_int(static_cast<long long>(r.evals_per_sec)),
+               core::Table::fmt(r.speedup, 2),
+               r.bit_identical_to_serial ? "yes" : "NO (BUG)"});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf("hardware_concurrency on this machine: %d\n",
+              core::ThreadPool::default_num_threads());
+
+  // Layer deduplication: repeated blocks collapse to unique shapes, so the
+  // per-layer mapping search cost scales with unique shapes, not depth.
+  bench::print_header("Layer deduplication on repeated-block networks");
+  search::MappingSearchOptions mopts;
+  mopts.population = budget.map_population;
+  mopts.iterations = budget.map_iterations;
+  mopts.seed = budget.seed;
+
+  struct DedupRow {
+    std::string network;
+    int layers = 0;
+    int unique = 0;
+    long long searches = 0;
+  };
+  std::vector<DedupRow> dedup_rows;
+  core::Table d({"Network", "Layers", "Unique shapes", "Mapping searches",
+                 "Dedup factor"});
+  const auto arch = arch::nvdla_256_arch();
+  for (const auto& net :
+       {nn::make_resnet50(), nn::make_mobilenet_v2(), nn::make_squeezenet()}) {
+    search::ArchEvaluator evaluator(model, mopts);
+    evaluator.evaluate(arch, net);
+    DedupRow row;
+    row.network = net.name();
+    row.layers = net.num_layers();
+    row.unique = static_cast<int>(net.unique_layers().size());
+    row.searches = evaluator.mapping_searches();
+    dedup_rows.push_back(row);
+    d.add_row({row.network, core::Table::fmt_int(row.layers),
+               core::Table::fmt_int(row.unique),
+               core::Table::fmt_int(row.searches),
+               core::Table::fmt(static_cast<double>(row.layers) /
+                                    static_cast<double>(row.searches),
+                                2)});
+  }
+  std::printf("%s\n", d.to_string().c_str());
+
+  // Machine-readable record for trend tracking (scripts/bench.sh collects
+  // BENCH_*.json artifacts).
+  FILE* f = std::fopen("BENCH_parallel.json", "w");
+  if (!f) {
+    std::printf("could not open BENCH_parallel.json for writing\n");
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"parallel_scaling\",\n");
+  std::fprintf(f, "  \"scenario\": \"fig6_single_network\",\n");
+  std::fprintf(f, "  \"network\": \"%s\",\n", nets.front().name().c_str());
+  std::fprintf(f, "  \"envelope\": \"%s\",\n", rc.name.c_str());
+  std::fprintf(f, "  \"hardware_concurrency\": %d,\n",
+               core::ThreadPool::default_num_threads());
+  std::fprintf(f, "  \"runs\": [\n");
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const auto& r = runs[i];
+    std::fprintf(f,
+                 "    {\"num_threads\": %d, \"wall_seconds\": %.6f, "
+                 "\"cost_evaluations\": %lld, \"evals_per_sec\": %.1f, "
+                 "\"speedup\": %.3f, \"bit_identical_to_serial\": %s}%s\n",
+                 r.num_threads, r.wall_seconds, r.cost_evaluations,
+                 r.evals_per_sec, r.speedup,
+                 r.bit_identical_to_serial ? "true" : "false",
+                 i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"layer_dedup\": [\n");
+  for (std::size_t i = 0; i < dedup_rows.size(); ++i) {
+    const auto& r = dedup_rows[i];
+    std::fprintf(f,
+                 "    {\"network\": \"%s\", \"layers\": %d, "
+                 "\"unique_shapes\": %d, \"mapping_searches\": %lld}%s\n",
+                 r.network.c_str(), r.layers, r.unique, r.searches,
+                 i + 1 < dedup_rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote BENCH_parallel.json\n");
+}
+
+void BM_ParallelForOverhead(benchmark::State& state) {
+  core::ThreadPool pool(static_cast<int>(state.range(0)));
+  std::vector<double> out(1024);
+  for (auto _ : state) {
+    pool.parallel_for(out.size(), [&](std::size_t i) {
+      out[i] = static_cast<double>(i) * 1.5;
+    });
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_ParallelForOverhead)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_EvaluatePopulation(benchmark::State& state) {
+  const cost::CostModel model;
+  const std::vector<nn::Network> nets{nn::make_cifar_net()};
+  search::MappingSearchOptions mopts;
+  mopts.population = 6;
+  mopts.iterations = 2;
+  const std::vector<arch::ArchConfig> archs{
+      arch::nvdla_256_arch(), arch::eyeriss_arch(), arch::shidiannao_arch(),
+      arch::nvdla_1024_arch()};
+  core::ThreadPool pool(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    // Fresh evaluator per iteration: measures cold-cache population
+    // scoring, the outer-loop unit of work.
+    search::ArchEvaluator evaluator(model, mopts, &pool);
+    const auto edps = evaluator.evaluate_population(archs, nets);
+    benchmark::DoNotOptimize(edps.data());
+  }
+}
+BENCHMARK(BM_EvaluatePopulation)->Arg(1)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  reproduce_scaling(naas::bench::Budget::from_env());
+  return naas::bench::run_microbenchmarks(argc, argv);
+}

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Builds the bench binaries in Release and emits BENCH_*.json artifacts.
+#
+# Usage: scripts/bench.sh [build-dir]
+#   NAAS_BENCH_ALL=1   also run every fig/table reproduction binary
+#   NAAS_BENCH_FULL=1  paper-scale search budgets (slow)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-bench}"
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+if [ ! -x "$BUILD_DIR/bench_parallel_scaling" ]; then
+  echo "bench binaries were not built (google-benchmark missing?)" >&2
+  exit 1
+fi
+
+run_bench() {
+  local name="$1"
+  echo "=== $name ==="
+  # Each binary reproduces its table/figure, then runs google-benchmark
+  # microbenchmarks whose results land in BENCH_<name>_micro.json.
+  (cd "$BUILD_DIR" && "./$name" \
+      --benchmark_out="BENCH_${name}_micro.json" \
+      --benchmark_out_format=json \
+      --benchmark_min_time=0.05)
+}
+
+# The scaling bench writes BENCH_parallel.json itself; table4 prints the
+# serial-vs-parallel comparison.
+run_bench bench_parallel_scaling
+run_bench table4_search_cost
+
+if [ "${NAAS_BENCH_ALL:-0}" = "1" ]; then
+  for b in fig4_convergence fig5_multi_network fig6_single_network \
+           fig7_searched_archs fig8_sizing_ablation fig9_encoding_ablation \
+           fig10_nas_codesign table3_nasaic ablation_design_choices; do
+    run_bench "$b"
+  done
+fi
+
+echo
+echo "artifacts:"
+ls -1 "$BUILD_DIR"/BENCH_*.json

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "arch/presets.hpp"
+#include "core/thread_pool.hpp"
 #include "mapping/canonical.hpp"
 
 namespace naas::baselines {
@@ -62,54 +63,69 @@ NasaicResult run_nasaic(const cost::CostModel& model, const nn::Network& net,
   best.edp = std::numeric_limits<double>::infinity();
 
   const auto unique = net.unique_layers();
+
+  // Enumerate the (PE split, bandwidth split) allocation grid up front:
+  // every grid point is an independent evaluation, so the grid fans out
+  // over the pool and the argmin below reduces in grid order (identical
+  // tie-breaking to the original nested loops).
+  struct Candidate {
+    int dla_pes, shi_pes, dla_bw, shi_bw;
+    long long dla_onchip, shi_onchip;
+  };
+  std::vector<Candidate> grid;
   for (int dla_pes = options.pe_step; dla_pes < options.total_pes;
        dla_pes += options.pe_step) {
-    const int shi_pes = options.total_pes - dla_pes;
     // On-chip SRAM split proportionally to PE share; bandwidth split swept.
     const long long dla_onchip =
         options.total_onchip_bytes * dla_pes / options.total_pes;
-    const long long shi_onchip = options.total_onchip_bytes - dla_onchip;
     for (int dla_bw_share = 1; dla_bw_share <= 3; ++dla_bw_share) {
       const int dla_bw = options.total_noc_bandwidth * dla_bw_share / 4;
-      const int shi_bw = options.total_noc_bandwidth - dla_bw;
-      const arch::ArchConfig dla = make_dla_ip(
-          dla_pes, dla_onchip, dla_bw, options.dram_bandwidth);
-      const arch::ArchConfig shi = make_shi_ip(
-          shi_pes, shi_onchip, shi_bw, options.dram_bandwidth);
-
-      double latency = 0, energy = 0;
-      int on_dla = 0, on_shi = 0;
-      bool ok = true;
-      for (const auto& [layer, count] : unique) {
-        const auto rep_dla =
-            model.evaluate(dla, layer, mapping::canonical_mapping(dla, layer));
-        const auto rep_shi =
-            model.evaluate(shi, layer, mapping::canonical_mapping(shi, layer));
-        if (!rep_dla.legal && !rep_shi.legal) {
-          ok = false;
-          break;
-        }
-        const bool pick_dla =
-            rep_dla.legal && (!rep_shi.legal || rep_dla.edp <= rep_shi.edp);
-        const auto& rep = pick_dla ? rep_dla : rep_shi;
-        (pick_dla ? on_dla : on_shi) += count;
-        latency += rep.latency_cycles * count;
-        energy += rep.energy_nj * count;
-      }
-      if (!ok) continue;
-      const double edp = latency * energy;
-      if (edp < best.edp) {
-        best.edp = edp;
-        best.latency_cycles = latency;
-        best.energy_nj = energy;
-        best.dla_pes = dla_pes;
-        best.shi_pes = shi_pes;
-        best.dla_bandwidth = dla_bw;
-        best.shi_bandwidth = shi_bw;
-        best.layers_on_dla = on_dla;
-        best.layers_on_shi = on_shi;
-      }
+      grid.push_back({dla_pes, options.total_pes - dla_pes, dla_bw,
+                      options.total_noc_bandwidth - dla_bw, dla_onchip,
+                      options.total_onchip_bytes - dla_onchip});
     }
+  }
+
+  std::vector<NasaicResult> scored(grid.size());
+  core::ThreadPool pool(options.num_threads);
+  pool.parallel_for(grid.size(), [&](std::size_t i) {
+    scored[i].edp = std::numeric_limits<double>::infinity();
+    const Candidate& c = grid[i];
+    const arch::ArchConfig dla =
+        make_dla_ip(c.dla_pes, c.dla_onchip, c.dla_bw, options.dram_bandwidth);
+    const arch::ArchConfig shi =
+        make_shi_ip(c.shi_pes, c.shi_onchip, c.shi_bw, options.dram_bandwidth);
+
+    NasaicResult r;
+    double latency = 0, energy = 0;
+    int on_dla = 0, on_shi = 0;
+    for (const auto& [layer, count] : unique) {
+      const auto rep_dla =
+          model.evaluate(dla, layer, mapping::canonical_mapping(dla, layer));
+      const auto rep_shi =
+          model.evaluate(shi, layer, mapping::canonical_mapping(shi, layer));
+      if (!rep_dla.legal && !rep_shi.legal) return;  // scored[i] stays +inf
+      const bool pick_dla =
+          rep_dla.legal && (!rep_shi.legal || rep_dla.edp <= rep_shi.edp);
+      const auto& rep = pick_dla ? rep_dla : rep_shi;
+      (pick_dla ? on_dla : on_shi) += count;
+      latency += rep.latency_cycles * count;
+      energy += rep.energy_nj * count;
+    }
+    r.edp = latency * energy;
+    r.latency_cycles = latency;
+    r.energy_nj = energy;
+    r.dla_pes = c.dla_pes;
+    r.shi_pes = c.shi_pes;
+    r.dla_bandwidth = c.dla_bw;
+    r.shi_bandwidth = c.shi_bw;
+    r.layers_on_dla = on_dla;
+    r.layers_on_shi = on_shi;
+    scored[i] = r;
+  });
+
+  for (const NasaicResult& r : scored) {
+    if (r.edp < best.edp) best = r;
   }
   return best;
 }

@@ -21,6 +21,10 @@ struct NasaicOptions {
   int total_noc_bandwidth = 64;
   int dram_bandwidth = 16;
   int pe_step = 64;                    ///< allocation granularity
+  /// Threads for scoring the allocation grid: 0 => hardware default,
+  /// 1 => serial. The winner is identical for every value (grid points are
+  /// independent; the argmin reduction runs in grid order).
+  int num_threads = 0;
 };
 
 /// One allocation choice and its cost.

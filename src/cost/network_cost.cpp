@@ -6,10 +6,9 @@
 
 namespace naas::cost {
 
-NetworkCost evaluate_network(const CostModel& model,
-                             const arch::ArchConfig& arch,
-                             const nn::Network& net,
-                             const MappingProvider& provider) {
+NetworkCost evaluate_network_reports(const arch::ArchConfig& arch,
+                                     const nn::Network& net,
+                                     const ReportProvider& provider) {
   NetworkCost nc;
   nc.network_name = net.name();
   nc.arch_name = arch.name;
@@ -17,7 +16,7 @@ NetworkCost evaluate_network(const CostModel& model,
     LayerCost lc;
     lc.layer = layer;
     lc.count = count;
-    lc.report = model.evaluate(arch, layer, provider(arch, layer));
+    lc.report = provider(arch, layer);
     if (!lc.report.legal) {
       nc.legal = false;
       nc.edp = std::numeric_limits<double>::infinity();
@@ -32,6 +31,17 @@ NetworkCost evaluate_network(const CostModel& model,
   }
   if (nc.legal) nc.edp = nc.energy_nj * nc.latency_cycles;
   return nc;
+}
+
+NetworkCost evaluate_network(const CostModel& model,
+                             const arch::ArchConfig& arch,
+                             const nn::Network& net,
+                             const MappingProvider& provider) {
+  return evaluate_network_reports(
+      arch, net,
+      [&model, &provider](const arch::ArchConfig& a, const nn::ConvLayer& l) {
+        return model.evaluate(a, l, provider(a, l));
+      });
 }
 
 NetworkCost evaluate_network_canonical(const CostModel& model,

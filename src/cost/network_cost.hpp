@@ -34,9 +34,25 @@ struct NetworkCost {
 using MappingProvider = std::function<mapping::Mapping(
     const arch::ArchConfig&, const nn::ConvLayer&)>;
 
-/// Evaluates every *unique* layer shape of `net` once, scales by
-/// multiplicity, and aggregates. Networks with repeated blocks evaluate
-/// several times faster than naive per-layer iteration.
+/// Supplies the finished cost report for each (accelerator, layer) pair.
+/// Callers that already evaluated the layer (mapping search keeps the best
+/// candidate's report) plug in their cache here, so assembling a network
+/// cost performs zero new cost-model evaluations.
+using ReportProvider = std::function<CostReport(const arch::ArchConfig&,
+                                                const nn::ConvLayer&)>;
+
+/// Core aggregation: deduplicates `net` down to its unique layer shapes
+/// (count-weighted, ConvLayerShapeHash), obtains each unique shape's report
+/// from `provider` exactly once, scales by multiplicity, and aggregates.
+/// ResNet/MobileNet-style networks with many identical blocks pay for each
+/// unique shape once.
+NetworkCost evaluate_network_reports(const arch::ArchConfig& arch,
+                                     const nn::Network& net,
+                                     const ReportProvider& provider);
+
+/// Evaluates every *unique* layer shape of `net` once (through the cost
+/// model, with the mapping chosen by `provider`), scales by multiplicity,
+/// and aggregates.
 NetworkCost evaluate_network(const CostModel& model,
                              const arch::ArchConfig& arch,
                              const nn::Network& net,

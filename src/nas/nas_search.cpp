@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/rng.hpp"
+#include "core/thread_pool.hpp"
 #include "core/timer.hpp"
 #include "search/cma_es.hpp"
 
@@ -122,7 +123,8 @@ CoSearchResult run_cosearch(const cost::CostModel& model,
   const search::HwEncodingSpec hw = search::make_hw_spec(
       options.resources, options.hw_encoding, options.search_connectivity);
 
-  search::ArchEvaluator evaluator(model, options.mapping);
+  core::ThreadPool pool(options.num_threads);
+  search::ArchEvaluator evaluator(model, options.mapping, &pool);
   const nn::OfaSpace space;
   const nn::AccuracyPredictor predictor;
 

@@ -55,6 +55,11 @@ struct CoSearchOptions {
   bool seed_baseline = true;
   search::MappingSearchOptions mapping;
   SubnetEvolutionOptions subnet;
+  /// Evaluation threads for the shared ArchEvaluator (the subnet evolution
+  /// itself is inherently sequential — each generation's parents depend on
+  /// the previous scores — but every EDP query fans its mapping searches
+  /// out across the pool). 0 => hardware default, 1 => serial.
+  int num_threads = 0;
 };
 
 /// Outcome of the accelerator + mapping + neural-architecture co-search.

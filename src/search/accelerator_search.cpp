@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 #include <stdexcept>
+#include <unordered_map>
+#include <utility>
 
 #include "core/stats.hpp"
 #include "core/timer.hpp"
@@ -12,42 +14,86 @@
 namespace naas::search {
 namespace {
 
-std::uint64_t cache_key(const arch::ArchConfig& arch,
-                        const nn::ConvLayer& layer) {
-  const std::uint64_t a = arch_fingerprint(arch);
-  const std::uint64_t l = nn::ConvLayerShapeHash{}(layer);
-  return a ^ (l * 0x9e3779b97f4a7c15ULL + 0x517cc1b727220a95ULL);
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+/// Fingerprint of everything about MappingSearchOptions that changes what
+/// search_mapping returns. Mixed into every cache key so two evaluators
+/// with different budgets (or a copied evaluator whose options were edited)
+/// can never share stale entries.
+std::uint64_t options_fingerprint(const MappingSearchOptions& o) {
+  std::uint64_t h = 0x2545f4914f6cdd1dULL;
+  h = mix(h, static_cast<std::uint64_t>(o.population));
+  h = mix(h, static_cast<std::uint64_t>(o.iterations));
+  h = mix(h, o.seed);
+  h = mix(h, o.seed_canonical ? 1 : 0);
+  h = mix(h, static_cast<std::uint64_t>(o.encoding.order_encoding));
+  h = mix(h, o.encoding.search_order ? 1 : 0);
+  h = mix(h, static_cast<std::uint64_t>(o.encoding.fixed_dataflow));
+  h = mix(h, o.encoding.grow_tiles ? 1 : 0);
+  return h;
 }
 
 }  // namespace
 
 ArchEvaluator::ArchEvaluator(const cost::CostModel& model,
-                             MappingSearchOptions mapping)
-    : model_(model), mapping_(std::move(mapping)) {}
+                             MappingSearchOptions mapping,
+                             core::ThreadPool* pool)
+    : model_(model),
+      mapping_(std::move(mapping)),
+      options_fingerprint_(options_fingerprint(mapping_)),
+      pool_(pool) {}
+
+std::uint64_t ArchEvaluator::cache_key(const arch::ArchConfig& arch,
+                                       const nn::ConvLayer& layer) const {
+  const std::uint64_t a = arch_fingerprint(arch);
+  const std::uint64_t l = nn::ConvLayerShapeHash{}(layer);
+  return mix(mix(options_fingerprint_, a), l);
+}
 
 const MappingSearchResult& ArchEvaluator::best_mapping(
     const arch::ArchConfig& arch, const nn::ConvLayer& layer) {
   const std::uint64_t key = cache_key(arch, layer);
-  auto it = cache_.find(key);
-  if (it == cache_.end()) {
-    MappingSearchOptions opts = mapping_;
-    // Layer-dependent seed keeps runs deterministic while decorrelating
-    // searches across layers.
-    opts.seed = mapping_.seed ^ nn::ConvLayerShapeHash{}(layer);
-    MappingSearchResult res = search_mapping(model_, arch, layer, opts);
-    cost_evaluations_ += res.evaluations;
-    ++mapping_searches_;
-    it = cache_.emplace(key, std::move(res)).first;
+  if (const MappingSearchResult* hit = cache_.find(key)) return *hit;
+
+  MappingSearchOptions opts = mapping_;
+  // Layer-dependent seed keeps runs deterministic while decorrelating
+  // searches across layers. Crucially the seed does NOT depend on
+  // evaluation order, so concurrent cache fills are reproducible.
+  opts.seed = mapping_.seed ^ nn::ConvLayerShapeHash{}(layer);
+  MappingSearchResult res = search_mapping(model_, arch, layer, opts, pool_);
+
+  bool inserted = false;
+  const MappingSearchResult& entry = cache_.publish(key, std::move(res),
+                                                    &inserted);
+  if (inserted) {
+    // Count only the published search: if another thread computed the same
+    // key concurrently, one duplicate is discarded and the statistics stay
+    // identical to the serial run.
+    cost_evaluations_.fetch_add(entry.evaluations);
+    mapping_searches_.fetch_add(1);
   }
-  return it->second;
+  return entry;
 }
 
 cost::NetworkCost ArchEvaluator::evaluate(const arch::ArchConfig& arch,
                                           const nn::Network& net) {
-  return cost::evaluate_network(
-      model_, arch, net,
+  // Assemble from the memoized mapping-search reports directly: no
+  // re-evaluation of the cost model per unique layer (the search already
+  // kept the winning candidate's full report).
+  return cost::evaluate_network_reports(
+      arch, net,
       [this](const arch::ArchConfig& a, const nn::ConvLayer& l) {
-        return best_mapping(a, l).best;
+        const MappingSearchResult& r = best_mapping(a, l);
+        if (!std::isfinite(r.best_edp)) {
+          cost::CostReport rep;
+          rep.legal = false;
+          rep.illegal_reason = "mapping search found no legal mapping";
+          return rep;
+        }
+        return r.report;
       });
 }
 
@@ -63,6 +109,17 @@ double ArchEvaluator::geomean_edp(const arch::ArchConfig& arch,
   return core::geomean(edps);
 }
 
+std::vector<double> ArchEvaluator::evaluate_population(
+    std::span<const arch::ArchConfig> archs,
+    const std::vector<nn::Network>& benchmarks) {
+  std::vector<double> edps(archs.size(),
+                           std::numeric_limits<double>::infinity());
+  core::ThreadPool::run(pool_, archs.size(), [&](std::size_t i) {
+    edps[i] = geomean_edp(archs[i], benchmarks);
+  });
+  return edps;
+}
+
 NaasResult run_naas(const cost::CostModel& model, const NaasOptions& options,
                     const std::vector<nn::Network>& benchmarks) {
   if (benchmarks.empty())
@@ -75,7 +132,8 @@ NaasResult run_naas(const cost::CostModel& model, const NaasOptions& options,
   const HwEncodingSpec hw = make_hw_spec(
       options.resources, options.hw_encoding, options.search_connectivity);
 
-  ArchEvaluator evaluator(model, options.mapping);
+  core::ThreadPool pool(options.num_threads);
+  ArchEvaluator evaluator(model, options.mapping, &pool);
 
   CmaEsOptions cma_opts;
   cma_opts.dim = hw.genome_size();
@@ -99,7 +157,8 @@ NaasResult run_naas(const cost::CostModel& model, const NaasOptions& options,
         // Custom envelope without a published baseline: nothing to seed.
       }
     }
-    for (auto seed : seeds) {
+    std::vector<arch::ArchConfig> eligible;
+    for (auto& seed : seeds) {
       if (!options.search_connectivity &&
           !(seed.num_array_dims == 2 &&
             seed.parallel_dims[0] == hw.fixed_parallel_dims[0] &&
@@ -107,31 +166,60 @@ NaasResult run_naas(const cost::CostModel& model, const NaasOptions& options,
         continue;  // sizing-only arm may not adopt foreign connectivity
       }
       if (!options.resources.allows(seed)) continue;
-      const double edp = evaluator.geomean_edp(seed, benchmarks);
-      if (std::isfinite(edp) && edp < result.best_geomean_edp) {
-        result.best_geomean_edp = edp;
-        result.best_arch = seed;
+      eligible.push_back(std::move(seed));
+    }
+    const std::vector<double> edps =
+        evaluator.evaluate_population(eligible, benchmarks);
+    for (std::size_t i = 0; i < eligible.size(); ++i) {
+      if (std::isfinite(edps[i]) && edps[i] < result.best_geomean_edp) {
+        result.best_geomean_edp = edps[i];
+        result.best_arch = eligible[i];
       }
     }
   }
 
   for (int iter = 0; iter < options.iterations; ++iter) {
     const auto population = cma.ask(is_valid);
+
+    // Decode serially (cheap, keeps the CMA stream untouched), fan the
+    // expensive scoring out over the pool, then reduce by genome index so
+    // best-so-far tie-breaking matches the serial loop exactly. Genomes
+    // that decode to the same config (the discrete arch space is small)
+    // share one evaluation slot: concurrent duplicates would each pay a
+    // full mapping search before the cache could dedup them.
+    std::vector<arch::ArchConfig> configs;
+    configs.reserve(population.size());
+    std::vector<std::size_t> eval_index;  // genome -> slot in `to_eval`
+    std::vector<arch::ArchConfig> to_eval;
+    std::unordered_map<std::uint64_t, std::size_t> slot_by_fingerprint;
+    for (const auto& genome : population) {
+      configs.push_back(hw.decode(genome));
+      if (options.resources.allows(configs.back())) {
+        const std::uint64_t fp = arch_fingerprint(configs.back());
+        const auto [it, fresh] =
+            slot_by_fingerprint.emplace(fp, to_eval.size());
+        if (fresh) to_eval.push_back(configs.back());
+        eval_index.push_back(it->second);
+      } else {
+        eval_index.push_back(static_cast<std::size_t>(-1));
+      }
+    }
+    const std::vector<double> eval_edps =
+        evaluator.evaluate_population(to_eval, benchmarks);
+
     std::vector<double> fitness;
     std::vector<double> finite_edps;
     fitness.reserve(population.size());
-    for (const auto& genome : population) {
-      const arch::ArchConfig cfg = hw.decode(genome);
-      double edp = std::numeric_limits<double>::infinity();
-      if (options.resources.allows(cfg)) {
-        edp = evaluator.geomean_edp(cfg, benchmarks);
-      }
+    for (std::size_t k = 0; k < population.size(); ++k) {
+      const double edp = eval_index[k] == static_cast<std::size_t>(-1)
+                             ? std::numeric_limits<double>::infinity()
+                             : eval_edps[eval_index[k]];
       fitness.push_back(edp);
       if (std::isfinite(edp)) {
         finite_edps.push_back(edp);
         if (edp < result.best_geomean_edp) {
           result.best_geomean_edp = edp;
-          result.best_arch = cfg;
+          result.best_arch = configs[k];
         }
       }
     }

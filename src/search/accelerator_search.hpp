@@ -1,25 +1,40 @@
 #pragma once
 
-#include <unordered_map>
+#include <atomic>
+#include <span>
 #include <vector>
 
 #include "arch/resources.hpp"
+#include "core/thread_pool.hpp"
 #include "cost/network_cost.hpp"
 #include "nn/network.hpp"
+#include "search/eval_cache.hpp"
 #include "search/mapping_search.hpp"
 
 namespace naas::search {
 
 /// Evaluates accelerator candidates on benchmark networks, running the
 /// inner per-layer mapping search and memoizing results by
-/// (arch fingerprint, layer shape). The cache is what makes the two-level
-/// loop affordable: repeated blocks, repeated candidates, and baseline
-/// re-evaluations all hit it.
+/// (arch fingerprint, layer shape, mapping-search budget). The cache is
+/// what makes the two-level loop affordable: repeated blocks, repeated
+/// candidates, and baseline re-evaluations all hit it.
+///
+/// Thread safety: all evaluation entry points may be called concurrently
+/// (the cache is mutex-striped and the statistics are atomic). When
+/// constructed with a ThreadPool, `evaluate_population` fans candidates
+/// out across it and the inner mapping searches fan their CMA generations
+/// out onto the same pool; results are identical for any thread count.
 class ArchEvaluator {
  public:
-  ArchEvaluator(const cost::CostModel& model, MappingSearchOptions mapping);
+  /// `pool` (optional, not owned) supplies the worker threads; nullptr or a
+  /// 1-thread pool reproduces the serial evaluator exactly.
+  ArchEvaluator(const cost::CostModel& model, MappingSearchOptions mapping,
+                core::ThreadPool* pool = nullptr);
 
   /// Network cost using the best searched mapping for each unique layer.
+  /// Repeated layer shapes are deduplicated (count-weighted) and their
+  /// cached mapping-search reports are reused directly, so no new
+  /// cost-model evaluations happen for shapes already searched.
   cost::NetworkCost evaluate(const arch::ArchConfig& arch,
                              const nn::Network& net);
 
@@ -30,19 +45,37 @@ class ArchEvaluator {
   double geomean_edp(const arch::ArchConfig& arch,
                      const std::vector<nn::Network>& benchmarks);
 
+  /// Batched population scoring: geomean EDP for every candidate, computed
+  /// concurrently on the pool and returned by candidate index. This is the
+  /// outer-loop fan-out used by run_naas — results (including all cache
+  /// contents and statistics) match evaluating the candidates one by one.
+  std::vector<double> evaluate_population(
+      std::span<const arch::ArchConfig> archs,
+      const std::vector<nn::Network>& benchmarks);
+
   /// Best searched mapping for one layer (cached).
   const MappingSearchResult& best_mapping(const arch::ArchConfig& arch,
                                           const nn::ConvLayer& layer);
 
-  long long cost_evaluations() const { return cost_evaluations_; }
-  long long mapping_searches() const { return mapping_searches_; }
+  long long cost_evaluations() const { return cost_evaluations_.load(); }
+  long long mapping_searches() const { return mapping_searches_.load(); }
+
+  /// Unique (arch, layer, budget) entries memoized so far.
+  std::size_t cache_size() const { return cache_.size(); }
+
+  core::ThreadPool* pool() const { return pool_; }
 
  private:
+  std::uint64_t cache_key(const arch::ArchConfig& arch,
+                          const nn::ConvLayer& layer) const;
+
   const cost::CostModel& model_;
   MappingSearchOptions mapping_;
-  std::unordered_map<std::uint64_t, MappingSearchResult> cache_;
-  long long cost_evaluations_ = 0;
-  long long mapping_searches_ = 0;
+  std::uint64_t options_fingerprint_ = 0;  ///< mixed into every cache key
+  core::ThreadPool* pool_ = nullptr;
+  EvalCache cache_;
+  std::atomic<long long> cost_evaluations_{0};
+  std::atomic<long long> mapping_searches_{0};
 };
 
 /// Configuration of the outer accelerator-architecture search loop.
@@ -55,6 +88,10 @@ struct NaasOptions {
   /// false reproduces the sizing-only ablation (Fig. 8).
   bool search_connectivity = true;
   MappingSearchOptions mapping;
+  /// Evaluation threads: 0 => ThreadPool::default_num_threads()
+  /// (NAAS_NUM_THREADS env or hardware_concurrency); 1 => today's exact
+  /// serial behavior. Results are bit-identical for every value.
+  int num_threads = 0;
   /// Warm-start designs evaluated before the evolution loop (best-ever
   /// tracking only; they do not enter the CMA population statistics).
   /// Standard DSE practice: the known reference design for the envelope is
@@ -81,7 +118,9 @@ struct NaasResult {
 /// Runs the NAAS outer evolution loop (Fig. 1): sample accelerator
 /// candidates within the resource envelope, score each by geomean EDP over
 /// `benchmarks` (with the inner mapping search per layer), update the CMA
-/// distribution, and return the fittest design.
+/// distribution, and return the fittest design. Candidate scoring fans out
+/// over `options.num_threads` threads; the returned result is bit-identical
+/// to the serial (num_threads = 1) run.
 NaasResult run_naas(const cost::CostModel& model, const NaasOptions& options,
                     const std::vector<nn::Network>& benchmarks);
 

@@ -1,0 +1,40 @@
+#include "search/eval_cache.hpp"
+
+#include <utility>
+
+namespace naas::search {
+
+const MappingSearchResult* EvalCache::find(std::uint64_t key) const {
+  const Shard& shard = shards_[shard_index(key)];
+  std::lock_guard<std::mutex> lk(shard.m);
+  const auto it = shard.map.find(key);
+  return it == shard.map.end() ? nullptr : &it->second;
+}
+
+const MappingSearchResult& EvalCache::publish(std::uint64_t key,
+                                              MappingSearchResult&& result,
+                                              bool* inserted) {
+  Shard& shard = shards_[shard_index(key)];
+  std::lock_guard<std::mutex> lk(shard.m);
+  const auto [it, fresh] = shard.map.emplace(key, std::move(result));
+  if (inserted) *inserted = fresh;
+  return it->second;
+}
+
+std::size_t EvalCache::size() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lk(shard.m);
+    total += shard.map.size();
+  }
+  return total;
+}
+
+void EvalCache::clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lk(shard.m);
+    shard.map.clear();
+  }
+}
+
+}  // namespace naas::search

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+#include "search/mapping_search.hpp"
+
+namespace naas::search {
+
+/// Sharded, mutex-striped memoization table for per-(arch, layer)
+/// mapping-search results — the concurrent replacement for ArchEvaluator's
+/// single unordered_map.
+///
+/// Concurrency contract:
+///  - Lookups and publishes on different shards never contend; the shard
+///    index is a mix of the (already well-distributed) 64-bit key.
+///  - Entry references are stable for the cache's lifetime (unordered_map
+///    never relocates nodes on rehash), so `best_mapping` can keep handing
+///    out `const MappingSearchResult&`.
+///  - Two threads may race to compute the same key; `publish` keeps the
+///    first result and tells the loser its duplicate was discarded. Because
+///    mapping search is deterministic per key (the seed derives from the
+///    layer shape, not evaluation order), both results are identical and
+///    dropping one is free — and counting only successful publishes keeps
+///    the evaluator's statistics independent of thread count.
+class EvalCache {
+ public:
+  /// Cached result for `key`, or nullptr on miss.
+  const MappingSearchResult* find(std::uint64_t key) const;
+
+  /// Publishes `result` under `key` unless an entry already exists (another
+  /// thread won the race). Returns the resident entry; `inserted` reports
+  /// whether it was ours.
+  const MappingSearchResult& publish(std::uint64_t key,
+                                     MappingSearchResult&& result,
+                                     bool* inserted);
+
+  /// Total entries across all shards (linearizable only when quiescent).
+  std::size_t size() const;
+
+  void clear();
+
+ private:
+  static constexpr std::size_t kNumShards = 64;
+
+  struct Shard {
+    mutable std::mutex m;
+    std::unordered_map<std::uint64_t, MappingSearchResult> map;
+  };
+
+  static std::size_t shard_index(std::uint64_t key) {
+    // Fibonacci mix so shard choice uses high-entropy bits even if the key
+    // hash is weak in its low bits.
+    return static_cast<std::size_t>((key * 0x9e3779b97f4a7c15ULL) >> 58);
+  }
+
+  std::array<Shard, kNumShards> shards_;
+};
+
+}  // namespace naas::search

@@ -1,6 +1,7 @@
 #include "search/mapping_search.hpp"
 
 #include <limits>
+#include <utility>
 
 #include "mapping/canonical.hpp"
 #include "search/cma_es.hpp"
@@ -10,12 +11,16 @@ namespace naas::search {
 MappingSearchResult search_mapping(const cost::CostModel& model,
                                    const arch::ArchConfig& arch,
                                    const nn::ConvLayer& layer,
-                                   const MappingSearchOptions& options) {
+                                   const MappingSearchOptions& options,
+                                   core::ThreadPool* pool) {
   MappingSearchResult result;
   result.best_edp = std::numeric_limits<double>::infinity();
 
-  auto consider = [&](const mapping::Mapping& m) {
-    const cost::CostReport rep = model.evaluate(arch, layer, m);
+  // Folds one evaluated candidate into the running best. Always called in
+  // candidate order (canonical seeds first, then genome index within each
+  // generation), which fixes the tie-breaking independently of how the
+  // evaluations themselves were scheduled.
+  auto reduce = [&](const mapping::Mapping& m, const cost::CostReport& rep) {
     ++result.evaluations;
     if (rep.legal && rep.edp < result.best_edp) {
       result.best_edp = rep.edp;
@@ -29,7 +34,8 @@ MappingSearchResult search_mapping(const cost::CostModel& model,
     for (arch::Dataflow df : {arch::Dataflow::kWeightStationary,
                               arch::Dataflow::kOutputStationary,
                               arch::Dataflow::kRowStationary}) {
-      consider(mapping::canonical_mapping(arch, layer, df));
+      const mapping::Mapping m = mapping::canonical_mapping(arch, layer, df);
+      reduce(m, model.evaluate(arch, layer, m));
     }
   }
 
@@ -41,11 +47,20 @@ MappingSearchResult search_mapping(const cost::CostModel& model,
 
   for (int iter = 0; iter < options.iterations; ++iter) {
     const auto population = cma.ask();
+    const std::size_t n = population.size();
+    // Decode + evaluate fan out onto the pool (both are pure functions of
+    // the genome); the reduction below runs serially by index.
+    std::vector<mapping::Mapping> mappings(n);
+    std::vector<cost::CostReport> reports(n);
+    core::ThreadPool::run(pool, n, [&](std::size_t i) {
+      mappings[i] = options.encoding.decode(population[i], arch, layer);
+      reports[i] = model.evaluate(arch, layer, mappings[i]);
+    });
+
     std::vector<double> fitness;
-    fitness.reserve(population.size());
-    for (const auto& genome : population) {
-      fitness.push_back(
-          consider(options.encoding.decode(genome, arch, layer)));
+    fitness.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      fitness.push_back(reduce(mappings[i], reports[i]));
     }
     cma.tell(population, fitness);
   }

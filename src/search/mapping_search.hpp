@@ -3,6 +3,7 @@
 #include <cstdint>
 
 #include "arch/accelerator.hpp"
+#include "core/thread_pool.hpp"
 #include "cost/cost_model.hpp"
 #include "mapping/mapping.hpp"
 #include "nn/layer.hpp"
@@ -34,9 +35,15 @@ struct MappingSearchResult {
 
 /// Searches the mapping space of `layer` on `arch`, returning the best
 /// (lowest-EDP) mapping found. Deterministic for a fixed seed.
+///
+/// When `pool` is non-null, each CMA-ES generation's genomes are decoded
+/// and cost-evaluated concurrently on the pool; the fitness vector and the
+/// best-so-far reduction are assembled in genome-index order afterwards, so
+/// the result is bit-identical to the serial run for any thread count.
 MappingSearchResult search_mapping(const cost::CostModel& model,
                                    const arch::ArchConfig& arch,
                                    const nn::ConvLayer& layer,
-                                   const MappingSearchOptions& options);
+                                   const MappingSearchOptions& options,
+                                   core::ThreadPool* pool = nullptr);
 
 }  // namespace naas::search
