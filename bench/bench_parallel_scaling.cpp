@@ -1,15 +1,17 @@
 // Parallel evaluation engine scaling: serial-vs-parallel wall time and
 // evaluations/sec for the fig6-style single-network NAAS search, plus the
-// layer-deduplication constant-factor win. Emits BENCH_parallel.json for
+// layer-deduplication constant-factor win and the persistent-store
+// warm-start win. Emits BENCH_parallel.json and BENCH_warm_start.json for
 // CI trend tracking.
 //
 // Determinism is asserted, not assumed: every multi-threaded run's
-// best_geomean_edp is compared bit-for-bit against the serial run before
-// the numbers are reported.
+// best_geomean_edp is compared bit-for-bit against the serial run, and the
+// warm-started run against the cold run, before the numbers are reported.
 
 #include "bench_common.hpp"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "core/thread_pool.hpp"
 
@@ -114,6 +116,73 @@ void reproduce_scaling(const bench::Budget& budget) {
                                 2)});
   }
   std::printf("%s\n", d.to_string().c_str());
+
+  // Warm start via the persistent result store: the same search, run cold
+  // (store file absent, flushed at exit) and then warm (store loaded at
+  // startup). The warm run must perform zero mapping searches and report a
+  // bit-identical outcome.
+  bench::print_header("Warm start: persistent on-disk mapping-result store");
+  const char* store_path = "BENCH_warm_cache.bin";
+  std::remove(store_path);
+  search::NaasOptions wopts = budget.naas_options(rc);
+  wopts.cache_path = store_path;
+  const auto cold = search::run_naas(model, wopts, nets);
+  const auto warm = search::run_naas(model, wopts, nets);
+  std::remove(store_path);
+
+  bool warm_identical = warm.best_geomean_edp == cold.best_geomean_edp &&
+                        warm.population_best_edp == cold.population_best_edp &&
+                        warm.population_mean_edp == cold.population_mean_edp;
+  if (!cold.best_networks.empty() && !warm.best_networks.empty())
+    warm_identical = warm_identical && warm.best_networks.front().edp ==
+                                           cold.best_networks.front().edp;
+  const bool warm_zero_searches = warm.mapping_searches == 0;
+
+  core::Table w({"Run", "Wall (s)", "Mapping searches", "Cost evals",
+                 "Store entries loaded"});
+  w.add_row({"cold", core::Table::fmt(cold.wall_seconds, 3),
+             core::Table::fmt_int(cold.mapping_searches),
+             core::Table::fmt_int(cold.cost_evaluations),
+             core::Table::fmt_int(cold.store_entries_loaded)});
+  w.add_row({"warm", core::Table::fmt(warm.wall_seconds, 3),
+             core::Table::fmt_int(warm.mapping_searches),
+             core::Table::fmt_int(warm.cost_evaluations),
+             core::Table::fmt_int(warm.store_entries_loaded)});
+  std::printf("%s\n", w.to_string().c_str());
+  std::printf("warm speedup: %.2fx   zero searches on warm: %s   "
+              "bit-identical to cold: %s\n",
+              warm.wall_seconds > 0 ? cold.wall_seconds / warm.wall_seconds
+                                    : 0.0,
+              warm_zero_searches ? "yes" : "NO (BUG)",
+              warm_identical ? "yes" : "NO (BUG)");
+
+  FILE* wf = std::fopen("BENCH_warm_start.json", "w");
+  if (wf) {
+    std::fprintf(wf, "{\n");
+    std::fprintf(wf, "  \"bench\": \"warm_start\",\n");
+    std::fprintf(wf, "  \"scenario\": \"fig6_single_network\",\n");
+    std::fprintf(wf, "  \"network\": \"%s\",\n", nets.front().name().c_str());
+    std::fprintf(wf, "  \"envelope\": \"%s\",\n", rc.name.c_str());
+    std::fprintf(wf, "  \"cold_wall_seconds\": %.6f,\n", cold.wall_seconds);
+    std::fprintf(wf, "  \"warm_wall_seconds\": %.6f,\n", warm.wall_seconds);
+    std::fprintf(wf, "  \"warm_speedup\": %.3f,\n",
+                 warm.wall_seconds > 0
+                     ? cold.wall_seconds / warm.wall_seconds
+                     : 0.0);
+    std::fprintf(wf, "  \"cold_mapping_searches\": %lld,\n",
+                 cold.mapping_searches);
+    std::fprintf(wf, "  \"warm_mapping_searches\": %lld,\n",
+                 warm.mapping_searches);
+    std::fprintf(wf, "  \"warm_store_entries_loaded\": %lld,\n",
+                 warm.store_entries_loaded);
+    std::fprintf(wf, "  \"zero_searches_on_warm\": %s,\n",
+                 warm_zero_searches ? "true" : "false");
+    std::fprintf(wf, "  \"bit_identical_to_cold\": %s\n",
+                 warm_identical ? "true" : "false");
+    std::fprintf(wf, "}\n");
+    std::fclose(wf);
+    std::printf("wrote BENCH_warm_start.json\n");
+  }
 
   // Machine-readable record for trend tracking (scripts/bench.sh collects
   // BENCH_*.json artifacts).

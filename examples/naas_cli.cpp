@@ -8,6 +8,11 @@
 //   naas_cli cosearch <envelope> <acc%> [iters [seed]]
 //                                          full 3-level co-search
 //
+// Global flags (anywhere on the command line):
+//   --cache-path <file>   persistent mapping-result store: warm-start from
+//                         it and flush back to it (search/cosearch)
+//   --cache-readonly      load the store but never write it back
+//
 // Envelope names: edgetpu, nvdla1024, nvdla256, eyeriss, shidiannao.
 
 #include <cmath>
@@ -16,6 +21,7 @@
 #include <cstring>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "arch/presets.hpp"
 #include "cost/report.hpp"
@@ -82,8 +88,26 @@ int cmd_layer(const std::string& net_name, const std::string& env_name,
   return 0;
 }
 
+/// Persistent-store flags shared by the search commands.
+struct StoreFlags {
+  std::string cache_path;
+  bool cache_readonly = false;
+};
+
+/// Store diagnostics go to stderr so stdout stays a deterministic report
+/// (CI diffs cold vs warm stdout).
+void report_store(const StoreFlags& store, long long entries_loaded,
+                  long long mapping_searches) {
+  if (store.cache_path.empty()) return;
+  std::fprintf(stderr,
+               "store: loaded %lld entries from %s; mapping searches run: "
+               "%lld%s\n",
+               entries_loaded, store.cache_path.c_str(), mapping_searches,
+               store.cache_readonly ? " (readonly)" : "");
+}
+
 int cmd_search(const std::string& net_name, const std::string& env_name,
-               int iterations, std::uint64_t seed) {
+               int iterations, std::uint64_t seed, const StoreFlags& store) {
   const auto net = nn::make_network(net_name);
   const auto rc = envelope_by_name(env_name);
   const cost::CostModel model;
@@ -95,7 +119,10 @@ int cmd_search(const std::string& net_name, const std::string& env_name,
   opts.seed = seed;
   opts.mapping.population = 10;
   opts.mapping.iterations = 6;
+  opts.cache_path = store.cache_path;
+  opts.cache_readonly = store.cache_readonly;
   const auto res = search::run_naas(model, opts, {net});
+  report_store(store, res.store_entries_loaded, res.mapping_searches);
   if (!std::isfinite(res.best_geomean_edp)) {
     std::fprintf(stderr, "search failed to find a valid design\n");
     return 1;
@@ -115,7 +142,7 @@ int cmd_search(const std::string& net_name, const std::string& env_name,
 }
 
 int cmd_cosearch(const std::string& env_name, double min_accuracy,
-                 int iterations, std::uint64_t seed) {
+                 int iterations, std::uint64_t seed, const StoreFlags& store) {
   const cost::CostModel model;
   nas::CoSearchOptions opts;
   opts.resources = envelope_by_name(env_name);
@@ -127,7 +154,10 @@ int cmd_cosearch(const std::string& env_name, double min_accuracy,
   opts.subnet.min_accuracy = min_accuracy;
   opts.subnet.population = 8;
   opts.subnet.iterations = 4;
+  opts.cache_path = store.cache_path;
+  opts.cache_readonly = store.cache_readonly;
   const auto res = nas::run_cosearch(model, opts);
+  report_store(store, res.store_entries_loaded, res.mapping_searches);
   if (!std::isfinite(res.best_edp)) {
     std::fprintf(stderr,
                  "no accuracy-feasible subnet found; lower the floor\n");
@@ -148,27 +178,51 @@ int usage() {
                "       naas_cli eval <net> <envelope>\n"
                "       naas_cli layer <net> <envelope> <index>\n"
                "       naas_cli search <net> <envelope> [iters [seed]]\n"
-               "       naas_cli cosearch <envelope> <acc%%> [iters [seed]]\n");
+               "       naas_cli cosearch <envelope> <acc%%> [iters [seed]]\n"
+               "flags: --cache-path <file>  persistent mapping-result store\n"
+               "       --cache-readonly     never write the store back\n");
   return 2;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return usage();
-  const std::string cmd = argv[1];
+  StoreFlags store;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--cache-path") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--cache-path requires a file argument\n");
+        return usage();
+      }
+      store.cache_path = argv[++i];
+    } else if (a == "--cache-readonly") {
+      store.cache_readonly = true;
+    } else {
+      args.push_back(a);
+    }
+  }
+  if (args.empty()) return usage();
+  const std::string& cmd = args[0];
+  const auto n = args.size();
   try {
     if (cmd == "info") return cmd_info();
-    if (cmd == "eval" && argc >= 4) return cmd_eval(argv[2], argv[3]);
-    if (cmd == "layer" && argc >= 5)
-      return cmd_layer(argv[2], argv[3], std::atoi(argv[4]));
-    if (cmd == "search" && argc >= 4)
-      return cmd_search(argv[2], argv[3], argc > 4 ? std::atoi(argv[4]) : 10,
-                        argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 1);
-    if (cmd == "cosearch" && argc >= 4)
-      return cmd_cosearch(argv[2], std::atof(argv[3]),
-                          argc > 4 ? std::atoi(argv[4]) : 5,
-                          argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 1);
+    if (cmd == "eval" && n >= 3) return cmd_eval(args[1], args[2]);
+    if (cmd == "layer" && n >= 4)
+      return cmd_layer(args[1], args[2], std::atoi(args[3].c_str()));
+    if (cmd == "search" && n >= 3)
+      return cmd_search(args[1], args[2],
+                        n > 3 ? std::atoi(args[3].c_str()) : 10,
+                        n > 4 ? std::strtoull(args[4].c_str(), nullptr, 10)
+                              : 1,
+                        store);
+    if (cmd == "cosearch" && n >= 3)
+      return cmd_cosearch(args[1], std::atof(args[2].c_str()),
+                          n > 3 ? std::atoi(args[3].c_str()) : 5,
+                          n > 4 ? std::strtoull(args[4].c_str(), nullptr, 10)
+                                : 1,
+                          store);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -1,13 +1,19 @@
 // Quickstart: search an accelerator + mapping for MobileNetV2 within the
 // Eyeriss resource envelope and compare against the Eyeriss baseline.
 //
-//   ./build/examples/quickstart [iterations]
+//   ./build/quickstart [iterations] [--cache-path <file>]
+//
+// With --cache-path, the search warm-starts from the persistent
+// mapping-result store at <file> and flushes back to it: a second identical
+// run performs zero mapping searches and prints a bit-identical report
+// (store diagnostics go to stderr, so stdout stays comparable).
 //
 // This walks the full public API surface in ~40 lines of user code:
 // model zoo -> resource envelope -> run_naas -> inspect the result.
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "arch/presets.hpp"
@@ -18,7 +24,26 @@
 int main(int argc, char** argv) {
   using namespace naas;
 
-  const int iterations = argc > 1 ? std::atoi(argv[1]) : 10;
+  int iterations = 10;
+  std::string cache_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--cache-path") == 0 && i + 1 < argc) {
+      cache_path = argv[++i];
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr,
+                   "unknown flag: %s\n"
+                   "usage: quickstart [iterations] [--cache-path <file>]\n",
+                   argv[i]);
+      return 2;
+    } else {
+      iterations = std::atoi(argv[i]);
+      if (iterations <= 0) {
+        std::fprintf(stderr, "iterations must be a positive integer, got "
+                             "'%s'\n", argv[i]);
+        return 2;
+      }
+    }
+  }
 
   // 1. Pick a workload and a resource envelope (max #PEs, on-chip SRAM,
   //    NoC bandwidth — Section III-A of the paper).
@@ -46,7 +71,14 @@ int main(int argc, char** argv) {
   opts.mapping.population = 10;
   opts.mapping.iterations = 6;
   opts.seed = 1;
+  opts.cache_path = cache_path;
   const search::NaasResult result = search::run_naas(model, opts, {net});
+  if (!cache_path.empty())
+    std::fprintf(stderr,
+                 "store: loaded %lld entries from %s; mapping searches run: "
+                 "%lld\n",
+                 result.store_entries_loaded, cache_path.c_str(),
+                 result.mapping_searches);
 
   // 4. Inspect the matched design.
   std::printf("searched : %s\n", result.best_arch.to_string().c_str());

@@ -28,8 +28,9 @@ run_bench() {
       --benchmark_min_time=0.05)
 }
 
-# The scaling bench writes BENCH_parallel.json itself; table4 prints the
-# serial-vs-parallel comparison.
+# The scaling bench writes BENCH_parallel.json and BENCH_warm_start.json
+# itself; table4 prints the serial-vs-parallel and cold-vs-warm
+# comparisons.
 run_bench bench_parallel_scaling
 run_bench table4_search_cost
 

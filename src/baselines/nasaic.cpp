@@ -7,9 +7,26 @@
 #include "arch/presets.hpp"
 #include "core/thread_pool.hpp"
 #include "mapping/canonical.hpp"
+#include "search/encoding.hpp"
+#include "search/eval_cache.hpp"
+#include "search/result_store.hpp"
 
 namespace naas::baselines {
 namespace {
+
+/// Distinguishes NASAIC's canonical-mapping entries from ArchEvaluator's
+/// mapping-search entries when both live in one store file.
+constexpr std::uint64_t kNasaicKeyTag = 0x6e61736169632e31ULL;  // "nasaic.1"
+
+std::uint64_t nasaic_key(const arch::ArchConfig& ip,
+                         const nn::ConvLayer& layer) {
+  std::uint64_t h = kNasaicKeyTag;
+  const std::uint64_t parts[2] = {search::arch_fingerprint(ip),
+                                  nn::ConvLayerShapeHash{}(layer)};
+  for (std::uint64_t v : parts)
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
 
 /// Builds a DLA-style (C x K weight-stationary) IP with `pes` PEs.
 arch::ArchConfig make_dla_ip(int pes, long long onchip, int bandwidth,
@@ -64,6 +81,27 @@ NasaicResult run_nasaic(const cost::CostModel& model, const nn::Network& net,
 
   const auto unique = net.unique_layers();
 
+  // Memoized canonical-mapping evaluation, optionally warm-started from a
+  // persistent store. The two IPs recur across the whole allocation grid
+  // (PE counts repeat at every bandwidth split), so the cache collapses the
+  // grid's cost-model calls to one per unique (IP config, layer shape).
+  search::EvalCache cache;
+  search::warm_start_cache(cache, options.cache_path);
+  const auto cached_eval = [&](const arch::ArchConfig& ip,
+                               const nn::ConvLayer& layer)
+      -> const cost::CostReport& {
+    const std::uint64_t key = nasaic_key(ip, layer);
+    if (const auto* hit = cache.find(key)) return hit->report;
+    search::MappingSearchResult res;
+    res.best = mapping::canonical_mapping(ip, layer);
+    res.report = model.evaluate(ip, layer, res.best);
+    res.best_edp = res.report.legal
+                       ? res.report.edp
+                       : std::numeric_limits<double>::infinity();
+    res.evaluations = 1;
+    return cache.publish(key, std::move(res), nullptr).report;
+  };
+
   // Enumerate the (PE split, bandwidth split) allocation grid up front:
   // every grid point is an independent evaluation, so the grid fans out
   // over the pool and the argmin below reduces in grid order (identical
@@ -100,10 +138,8 @@ NasaicResult run_nasaic(const cost::CostModel& model, const nn::Network& net,
     double latency = 0, energy = 0;
     int on_dla = 0, on_shi = 0;
     for (const auto& [layer, count] : unique) {
-      const auto rep_dla =
-          model.evaluate(dla, layer, mapping::canonical_mapping(dla, layer));
-      const auto rep_shi =
-          model.evaluate(shi, layer, mapping::canonical_mapping(shi, layer));
+      const auto& rep_dla = cached_eval(dla, layer);
+      const auto& rep_shi = cached_eval(shi, layer);
       if (!rep_dla.legal && !rep_shi.legal) return;  // scored[i] stays +inf
       const bool pick_dla =
           rep_dla.legal && (!rep_shi.legal || rep_dla.edp <= rep_shi.edp);
@@ -127,6 +163,7 @@ NasaicResult run_nasaic(const cost::CostModel& model, const nn::Network& net,
   for (const NasaicResult& r : scored) {
     if (r.edp < best.edp) best = r;
   }
+  search::flush_cache(cache, options.cache_path, options.cache_readonly);
   return best;
 }
 

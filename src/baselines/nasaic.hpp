@@ -25,6 +25,13 @@ struct NasaicOptions {
   /// 1 => serial. The winner is identical for every value (grid points are
   /// independent; the argmin reduction runs in grid order).
   int num_threads = 0;
+  /// Persistent result store (see search::NaasOptions::cache_path): the
+  /// per-(IP config, layer) canonical-mapping reports are memoized under a
+  /// NASAIC-specific key tag, so repeated grid sweeps (and reruns) skip the
+  /// cost model for shapes already evaluated. Loaded before the sweep,
+  /// flushed after it unless cache_readonly.
+  std::string cache_path;
+  bool cache_readonly = false;
 };
 
 /// One allocation choice and its cost.

@@ -1,0 +1,99 @@
+#include "core/serialize.hpp"
+
+#include <cstring>
+
+namespace naas::core {
+
+void ByteWriter::u8(std::uint8_t v) {
+  buf_.push_back(static_cast<char>(v));
+}
+
+void ByteWriter::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void ByteWriter::f64(double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  u64(bits);
+}
+
+void ByteWriter::str(const std::string& s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  buf_.append(s);
+}
+
+ByteReader::ByteReader(const void* data, std::size_t size)
+    : data_(static_cast<const unsigned char*>(data)), size_(size) {}
+
+bool ByteReader::take(std::size_t n) {
+  if (!ok_ || size_ - pos_ < n) {
+    ok_ = false;
+    return false;
+  }
+  pos_ += n;
+  return true;
+}
+
+std::uint8_t ByteReader::u8() {
+  const std::size_t at = pos_;
+  if (!take(1)) return 0;
+  return data_[at];
+}
+
+std::uint32_t ByteReader::u32() {
+  const std::size_t at = pos_;
+  if (!take(4)) return 0;
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(data_[at + static_cast<std::size_t>(i)])
+         << (8 * i);
+  return v;
+}
+
+std::uint64_t ByteReader::u64() {
+  const std::size_t at = pos_;
+  if (!take(8)) return 0;
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(data_[at + static_cast<std::size_t>(i)])
+         << (8 * i);
+  return v;
+}
+
+double ByteReader::f64() {
+  const std::uint64_t bits = u64();
+  double v = 0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string ByteReader::str() {
+  const std::uint32_t n = u32();
+  const std::size_t at = pos_;
+  if (!take(n)) return {};
+  return std::string(reinterpret_cast<const char*>(data_ + at), n);
+}
+
+std::uint64_t fnv1a64(const void* data, std::size_t size) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a64(const std::string& bytes) {
+  return fnv1a64(bytes.data(), bytes.size());
+}
+
+}  // namespace naas::core

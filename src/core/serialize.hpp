@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace naas::core {
+
+/// Minimal little-endian binary serialization, the substrate of the
+/// persistent result store (src/search/result_store.*). Fixed-width
+/// primitives are written byte-by-byte so the on-disk format is identical
+/// across hosts; doubles round-trip via their IEEE-754 bit pattern, which
+/// is what makes warm-started searches bit-identical to cold ones.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v);  ///< exact bit-pattern round trip
+  void str(const std::string& s);  ///< u32 length prefix + raw bytes
+
+  const std::string& bytes() const { return buf_; }
+
+ private:
+  std::string buf_;
+};
+
+/// Bounds-checked reader over a byte buffer. Any out-of-range read flips
+/// ok() to false and yields zero values from then on; callers validate once
+/// at the end instead of checking every field.
+class ByteReader {
+ public:
+  ByteReader(const void* data, std::size_t size);
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64();
+  std::string str();
+
+  bool ok() const { return ok_; }
+  std::size_t remaining() const { return size_ - pos_; }
+
+ private:
+  bool take(std::size_t n);  ///< advances pos_; false (and !ok_) on overrun
+
+  const unsigned char* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+/// FNV-1a 64-bit hash, used as the store's content checksum.
+std::uint64_t fnv1a64(const void* data, std::size_t size);
+std::uint64_t fnv1a64(const std::string& bytes);
+
+}  // namespace naas::core

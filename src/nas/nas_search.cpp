@@ -125,6 +125,8 @@ CoSearchResult run_cosearch(const cost::CostModel& model,
 
   core::ThreadPool pool(options.num_threads);
   search::ArchEvaluator evaluator(model, options.mapping, &pool);
+  result.store_entries_loaded =
+      search::warm_start_from_store(evaluator, options.cache_path);
   const nn::OfaSpace space;
   const nn::AccuracyPredictor predictor;
 
@@ -187,6 +189,8 @@ CoSearchResult run_cosearch(const cost::CostModel& model,
     }
     cma.tell(population, fitness);
   }
+  search::flush_to_store(evaluator, options.cache_path,
+                         options.cache_readonly);
   result.cost_evaluations = evaluator.cost_evaluations();
   result.mapping_searches = evaluator.mapping_searches();
   result.wall_seconds = timer.seconds();

@@ -60,6 +60,10 @@ struct CoSearchOptions {
   /// the previous scores — but every EDP query fans its mapping searches
   /// out across the pool). 0 => hardware default, 1 => serial.
   int num_threads = 0;
+  /// Persistent mapping-result store (see NaasOptions::cache_path): loaded
+  /// before the co-search, flushed after it unless cache_readonly.
+  std::string cache_path;
+  bool cache_readonly = false;
 };
 
 /// Outcome of the accelerator + mapping + neural-architecture co-search.
@@ -70,6 +74,8 @@ struct CoSearchResult {
   double best_edp = 0;
   long long cost_evaluations = 0;
   long long mapping_searches = 0;
+  /// Entries warm-started from CoSearchOptions::cache_path.
+  long long store_entries_loaded = 0;
   double wall_seconds = 0;
 };
 

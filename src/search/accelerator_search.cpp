@@ -46,6 +46,17 @@ ArchEvaluator::ArchEvaluator(const cost::CostModel& model,
       options_fingerprint_(options_fingerprint(mapping_)),
       pool_(pool) {}
 
+StoreStatus ArchEvaluator::load_store(const std::string& path) {
+  StoreLoadResult loaded = ResultStore::load(path);
+  if (loaded.status == StoreStatus::kOk)
+    store_entries_loaded_ += cache_.preload(std::move(loaded.entries));
+  return loaded.status;
+}
+
+StoreStatus ArchEvaluator::save_store(const std::string& path) const {
+  return ResultStore::save(path, cache_.snapshot());
+}
+
 std::uint64_t ArchEvaluator::cache_key(const arch::ArchConfig& arch,
                                        const nn::ConvLayer& layer) const {
   const std::uint64_t a = arch_fingerprint(arch);
@@ -120,6 +131,20 @@ std::vector<double> ArchEvaluator::evaluate_population(
   return edps;
 }
 
+long long warm_start_from_store(ArchEvaluator& evaluator,
+                                const std::string& path) {
+  if (path.empty()) return 0;
+  const std::size_t before = evaluator.store_entries_loaded();
+  warn_store_rejected(path, evaluator.load_store(path));
+  return static_cast<long long>(evaluator.store_entries_loaded() - before);
+}
+
+void flush_to_store(const ArchEvaluator& evaluator, const std::string& path,
+                    bool readonly) {
+  if (path.empty() || readonly) return;
+  warn_store_write_failed(path, evaluator.save_store(path));
+}
+
 NaasResult run_naas(const cost::CostModel& model, const NaasOptions& options,
                     const std::vector<nn::Network>& benchmarks) {
   if (benchmarks.empty())
@@ -134,6 +159,8 @@ NaasResult run_naas(const cost::CostModel& model, const NaasOptions& options,
 
   core::ThreadPool pool(options.num_threads);
   ArchEvaluator evaluator(model, options.mapping, &pool);
+  result.store_entries_loaded =
+      warm_start_from_store(evaluator, options.cache_path);
 
   CmaEsOptions cma_opts;
   cma_opts.dim = hw.genome_size();
@@ -236,6 +263,7 @@ NaasResult run_naas(const cost::CostModel& model, const NaasOptions& options,
       result.best_networks.push_back(
           evaluator.evaluate(result.best_arch, net));
   }
+  flush_to_store(evaluator, options.cache_path, options.cache_readonly);
   result.cost_evaluations = evaluator.cost_evaluations();
   result.mapping_searches = evaluator.mapping_searches();
   result.wall_seconds = timer.seconds();

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "arch/resources.hpp"
@@ -10,6 +11,7 @@
 #include "nn/network.hpp"
 #include "search/eval_cache.hpp"
 #include "search/mapping_search.hpp"
+#include "search/result_store.hpp"
 
 namespace naas::search {
 
@@ -63,6 +65,23 @@ class ArchEvaluator {
   /// Unique (arch, layer, budget) entries memoized so far.
   std::size_t cache_size() const { return cache_.size(); }
 
+  /// Warm-starts the cache from a persistent on-disk store (see
+  /// search::ResultStore). Keys carry the mapping-budget fingerprint, so a
+  /// store written under different options simply never hits; stale reuse
+  /// is impossible. Rejected (corrupt / version-mismatched / unreadable)
+  /// stores load nothing and the evaluator proceeds cold — the returned
+  /// status says why. Preloaded entries do not count toward
+  /// cost_evaluations()/mapping_searches(): those meter only work this
+  /// process performed. Not safe to call concurrently with evaluation.
+  StoreStatus load_store(const std::string& path);
+
+  /// Flushes the full cache (preloaded + freshly computed entries) to
+  /// `path` atomically. Call when evaluation is quiescent.
+  StoreStatus save_store(const std::string& path) const;
+
+  /// Entries adopted from load_store() calls so far.
+  std::size_t store_entries_loaded() const { return store_entries_loaded_; }
+
   core::ThreadPool* pool() const { return pool_; }
 
  private:
@@ -76,6 +95,7 @@ class ArchEvaluator {
   EvalCache cache_;
   std::atomic<long long> cost_evaluations_{0};
   std::atomic<long long> mapping_searches_{0};
+  std::size_t store_entries_loaded_ = 0;
 };
 
 /// Configuration of the outer accelerator-architecture search loop.
@@ -101,6 +121,15 @@ struct NaasOptions {
   /// exists (EdgeTPU / NVDLA / Eyeriss / ShiDianNao). Disable for search-
   /// quality ablations (Fig. 9).
   bool seed_baseline = true;
+  /// Persistent on-disk mapping-result store (empty = disabled). Loaded
+  /// before the search so repeated layer shapes skip their mapping-search
+  /// CMA loop entirely, and flushed after it so the next run (CI job, sweep
+  /// shard, rerun) warm-starts from this one. Results are bit-identical to
+  /// a cold run; corrupt or version-mismatched stores are rejected with a
+  /// warning and the search runs cold.
+  std::string cache_path;
+  /// Load the store but never write it back (shared/read-only caches).
+  bool cache_readonly = false;
 };
 
 /// Outcome of a NAAS accelerator+mapping co-search.
@@ -112,8 +141,23 @@ struct NaasResult {
   std::vector<double> population_best_edp;  ///< per iteration
   long long cost_evaluations = 0;
   long long mapping_searches = 0;
+  /// Entries warm-started from NaasOptions::cache_path (0 when disabled,
+  /// missing, or rejected).
+  long long store_entries_loaded = 0;
   double wall_seconds = 0;
 };
+
+/// Warm-starts `evaluator` from the store at `path` (no-op when `path` is
+/// empty), logging a warning when an existing file is rejected. Returns the
+/// number of entries adopted. Shared by every search entry point that
+/// exposes a cache_path option.
+long long warm_start_from_store(ArchEvaluator& evaluator,
+                                const std::string& path);
+
+/// Flushes `evaluator`'s cache back to `path` unless disabled (`path`
+/// empty) or `readonly`; logs a warning when the write fails.
+void flush_to_store(const ArchEvaluator& evaluator, const std::string& path,
+                    bool readonly);
 
 /// Runs the NAAS outer evolution loop (Fig. 1): sample accelerator
 /// candidates within the resource envelope, score each by geomean EDP over

@@ -4,6 +4,9 @@
 #include <cassert>
 #include <cmath>
 #include <numeric>
+#include <string>
+
+#include "core/log.hpp"
 
 namespace naas::search {
 
@@ -66,6 +69,18 @@ std::vector<std::vector<double>> CmaEs::ask(
            ++attempt) {
         x = sample_one();
       }
+      if (!valid(x)) {
+        // Every resample landed outside the feasible space. Never hand a
+        // known-invalid random point downstream: fall back to the clamped
+        // mean, which is always inside [0,1]^dim and is the distribution's
+        // best in-space guess.
+        x = mean_;
+        for (double& v : x) v = std::clamp(v, 0.0, 1.0);
+        ++resample_exhausted_;
+        core::log_debug("CmaEs::ask: resample budget exhausted, falling "
+                        "back to clamped mean (count=" +
+                        std::to_string(resample_exhausted_) + ")");
+      }
     }
     pop.push_back(std::move(x));
   }
@@ -88,12 +103,32 @@ void CmaEs::tell(const std::vector<std::vector<double>>& population,
 
   const std::vector<double> old_mean = mean_;
 
+  // Truncated-parent case (lambda < configured mu): the weight prefix no
+  // longer sums to 1, which would shrink the recombined mean toward the
+  // origin. Renormalize the prefix and recompute the effective selection
+  // mass used by this update's path coefficients.
+  const std::vector<double>* weights = &weights_;
+  double mu_eff = mu_eff_;
+  std::vector<double> trunc_weights;
+  if (mu < mu_) {
+    trunc_weights.assign(weights_.begin(), weights_.begin() + mu);
+    const double wsum =
+        std::accumulate(trunc_weights.begin(), trunc_weights.end(), 0.0);
+    double w2 = 0.0;
+    for (auto& w : trunc_weights) {
+      w /= wsum;
+      w2 += w * w;
+    }
+    mu_eff = 1.0 / w2;
+    weights = &trunc_weights;
+  }
+
   // Weighted recombination of the mu best.
   std::vector<double> new_mean(static_cast<std::size_t>(dim_), 0.0);
   for (int i = 0; i < mu; ++i) {
     const auto& x = population[static_cast<std::size_t>(
         order[static_cast<std::size_t>(i)])];
-    const double w = weights_[static_cast<std::size_t>(i)];
+    const double w = (*weights)[static_cast<std::size_t>(i)];
     for (int d = 0; d < dim_; ++d)
       new_mean[static_cast<std::size_t>(d)] +=
           w * x[static_cast<std::size_t>(d)];
@@ -116,8 +151,11 @@ void CmaEs::tell(const std::vector<std::vector<double>>& population,
     z_w[static_cast<std::size_t>(r)] = acc / chol_(r, r);
   }
 
-  // Step-size path and CSA update.
-  const double cs_coef = std::sqrt(c_sigma_ * (2.0 - c_sigma_) * mu_eff_);
+  // Step-size path and CSA update. The population was sampled with the
+  // current sigma; capture it before CSA moves it — the covariance vectors
+  // below must be normalized by the sampling sigma, not the updated one.
+  const double sampled_sigma = sigma_;
+  const double cs_coef = std::sqrt(c_sigma_ * (2.0 - c_sigma_) * mu_eff);
   double ps_norm2 = 0.0;
   for (int d = 0; d < dim_; ++d) {
     const auto s = static_cast<std::size_t>(d);
@@ -135,7 +173,7 @@ void CmaEs::tell(const std::vector<std::vector<double>>& population,
               (1.4 + 2.0 / (dim_ + 1.0)) * chi_n_
           ? 1.0
           : 0.0;
-  const double cc_coef = std::sqrt(c_c_ * (2.0 - c_c_) * mu_eff_);
+  const double cc_coef = std::sqrt(c_c_ * (2.0 - c_c_) * mu_eff);
   for (int d = 0; d < dim_; ++d) {
     const auto s = static_cast<std::size_t>(d);
     path_c_[s] = (1.0 - c_c_) * path_c_[s] + h_sigma * cc_coef * y_w[s];
@@ -152,9 +190,9 @@ void CmaEs::tell(const std::vector<std::vector<double>>& population,
     std::vector<double> y_i(static_cast<std::size_t>(dim_));
     for (int d = 0; d < dim_; ++d) {
       const auto s = static_cast<std::size_t>(d);
-      y_i[s] = (x[s] - old_mean[s]) / sigma_;
+      y_i[s] = (x[s] - old_mean[s]) / sampled_sigma;
     }
-    cov_.add_outer(y_i, c_mu_ * weights_[static_cast<std::size_t>(i)]);
+    cov_.add_outer(y_i, c_mu_ * (*weights)[static_cast<std::size_t>(i)]);
   }
   cov_.symmetrize();
   chol_ = cov_.cholesky();

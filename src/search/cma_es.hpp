@@ -34,7 +34,8 @@ class CmaEs {
 
   /// Samples one generation of candidates. If `valid` is provided, each
   /// candidate is resampled until the predicate passes (up to
-  /// max_resample, after which the clipped sample is returned as-is).
+  /// max_resample, after which the clamped mean is returned instead —
+  /// see resample_exhausted()).
   std::vector<std::vector<double>> ask(
       const std::function<bool(const std::vector<double>&)>& valid = nullptr);
 
@@ -51,6 +52,12 @@ class CmaEs {
 
   /// Generations processed so far.
   int generation() const { return generation_; }
+
+  /// Candidates that exhausted max_resample and fell back to the clamped
+  /// mean. ask() therefore never returns a point the caller's decode cannot
+  /// handle; a rapidly growing counter means the validity predicate rejects
+  /// nearly all of the current distribution's mass.
+  long long resample_exhausted() const { return resample_exhausted_; }
 
  private:
   std::vector<double> sample_one();
@@ -71,6 +78,7 @@ class CmaEs {
   std::vector<double> path_sigma_;
   std::vector<double> path_c_;
   int generation_ = 0;
+  long long resample_exhausted_ = 0;
 };
 
 }  // namespace naas::search

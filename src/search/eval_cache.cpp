@@ -1,5 +1,6 @@
 #include "search/eval_cache.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace naas::search {
@@ -35,6 +36,30 @@ void EvalCache::clear() {
     std::lock_guard<std::mutex> lk(shard.m);
     shard.map.clear();
   }
+}
+
+std::vector<std::pair<std::uint64_t, MappingSearchResult>>
+EvalCache::snapshot() const {
+  std::vector<std::pair<std::uint64_t, MappingSearchResult>> out;
+  out.reserve(size());
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lk(shard.m);
+    for (const auto& [key, result] : shard.map) out.emplace_back(key, result);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+std::size_t EvalCache::preload(
+    std::vector<std::pair<std::uint64_t, MappingSearchResult>> entries) {
+  std::size_t inserted = 0;
+  for (auto& [key, result] : entries) {
+    Shard& shard = shards_[shard_index(key)];
+    std::lock_guard<std::mutex> lk(shard.m);
+    inserted += shard.map.emplace(key, std::move(result)).second ? 1 : 0;
+  }
+  return inserted;
 }
 
 }  // namespace naas::search

@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <mutex>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "search/mapping_search.hpp"
 
@@ -41,6 +43,19 @@ class EvalCache {
   std::size_t size() const;
 
   void clear();
+
+  /// Copy of every entry, sorted by key (deterministic bytes when handed to
+  /// ResultStore::encode). Consistent only when quiescent — call between
+  /// evaluation phases, not during a fan-out.
+  std::vector<std::pair<std::uint64_t, MappingSearchResult>> snapshot() const;
+
+  /// Bulk-inserts persisted entries (e.g. ResultStore::load). Existing keys
+  /// win — a live entry is never overwritten by a stale store. Returns how
+  /// many entries were actually inserted. Unlike publish, preloading does
+  /// not count toward any statistics: warm-started entries were paid for by
+  /// an earlier run.
+  std::size_t preload(
+      std::vector<std::pair<std::uint64_t, MappingSearchResult>> entries);
 
  private:
   static constexpr std::size_t kNumShards = 64;

@@ -1,0 +1,288 @@
+#include "search/result_store.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+
+#include "core/log.hpp"
+#include "core/serialize.hpp"
+#include "search/eval_cache.hpp"
+
+namespace naas::search {
+namespace {
+
+constexpr char kMagic[8] = {'N', 'A', 'A', 'S', 'M', 'A', 'P', 'S'};
+constexpr std::size_t kChecksumBytes = 8;
+/// Conservative lower bound on a serialized entry (the real minimum is
+/// ~258 bytes); bounds the on-file entry count before any allocation.
+constexpr std::size_t kMinEntryBytes = 64;
+
+void write_order(core::ByteWriter& w, const mapping::LoopOrder& order) {
+  for (nn::Dim d : order) w.u8(static_cast<std::uint8_t>(d));
+}
+
+bool read_order(core::ByteReader& r, mapping::LoopOrder& order) {
+  for (auto& d : order) {
+    const std::uint8_t v = r.u8();
+    if (v >= nn::kNumDims) return false;
+    d = static_cast<nn::Dim>(v);
+  }
+  return r.ok();
+}
+
+void write_tiles(core::ByteWriter& w, const mapping::TileSizes& tiles) {
+  for (int t : tiles) w.i32(t);
+}
+
+bool read_tiles(core::ByteReader& r, mapping::TileSizes& tiles) {
+  for (auto& t : tiles) {
+    t = r.i32();
+    if (t < 1) return false;
+  }
+  return r.ok();
+}
+
+void write_result(core::ByteWriter& w, const MappingSearchResult& res) {
+  write_order(w, res.best.dram.order);
+  write_tiles(w, res.best.dram.tile);
+  write_order(w, res.best.pe.order);
+  write_tiles(w, res.best.pe.tile);
+  write_order(w, res.best.pe_order);
+
+  const cost::CostReport& rep = res.report;
+  w.u8(rep.legal ? 1 : 0);
+  w.str(rep.illegal_reason);
+  w.f64(rep.macs);
+  w.f64(rep.compute_cycles);
+  w.f64(rep.noc_cycles);
+  w.f64(rep.dram_cycles);
+  w.f64(rep.latency_cycles);
+  w.f64(rep.energy.mac_pj);
+  w.f64(rep.energy.l1_pj);
+  w.f64(rep.energy.l2_pj);
+  w.f64(rep.energy.noc_pj);
+  w.f64(rep.energy.dram_pj);
+  w.f64(rep.energy_nj);
+  w.f64(rep.edp);
+  w.f64(rep.pe_utilization);
+  w.f64(rep.dram_bytes);
+  w.f64(rep.l2_read_bytes);
+  w.f64(rep.l2_write_bytes);
+  w.f64(rep.l1_access_bytes);
+  w.f64(rep.noc_delivery_bytes);
+  w.f64(rep.reduction_hop_bytes);
+
+  w.f64(res.best_edp);
+  w.i64(res.evaluations);
+}
+
+bool read_result(core::ByteReader& r, MappingSearchResult& res) {
+  if (!read_order(r, res.best.dram.order)) return false;
+  if (!read_tiles(r, res.best.dram.tile)) return false;
+  if (!read_order(r, res.best.pe.order)) return false;
+  if (!read_tiles(r, res.best.pe.tile)) return false;
+  if (!read_order(r, res.best.pe_order)) return false;
+
+  cost::CostReport& rep = res.report;
+  rep.legal = r.u8() != 0;
+  rep.illegal_reason = r.str();
+  rep.macs = r.f64();
+  rep.compute_cycles = r.f64();
+  rep.noc_cycles = r.f64();
+  rep.dram_cycles = r.f64();
+  rep.latency_cycles = r.f64();
+  rep.energy.mac_pj = r.f64();
+  rep.energy.l1_pj = r.f64();
+  rep.energy.l2_pj = r.f64();
+  rep.energy.noc_pj = r.f64();
+  rep.energy.dram_pj = r.f64();
+  rep.energy_nj = r.f64();
+  rep.edp = r.f64();
+  rep.pe_utilization = r.f64();
+  rep.dram_bytes = r.f64();
+  rep.l2_read_bytes = r.f64();
+  rep.l2_write_bytes = r.f64();
+  rep.l1_access_bytes = r.f64();
+  rep.noc_delivery_bytes = r.f64();
+  rep.reduction_hop_bytes = r.f64();
+
+  res.best_edp = r.f64();
+  res.evaluations = r.i64();
+  return r.ok();
+}
+
+}  // namespace
+
+const char* store_status_name(StoreStatus s) {
+  switch (s) {
+    case StoreStatus::kOk: return "ok";
+    case StoreStatus::kNotFound: return "not-found";
+    case StoreStatus::kIoError: return "io-error";
+    case StoreStatus::kBadMagic: return "bad-magic";
+    case StoreStatus::kBadVersion: return "version-mismatch";
+    case StoreStatus::kCorrupt: return "corrupt";
+  }
+  return "unknown";
+}
+
+std::string ResultStore::encode(StoreEntries entries) {
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  core::ByteWriter w;
+  for (char c : kMagic) w.u8(static_cast<std::uint8_t>(c));
+  w.u32(kFormatVersion);
+  w.u32(kAlgorithmEpoch);
+  w.u64(entries.size());
+  for (const auto& [key, result] : entries) {
+    w.u64(key);
+    write_result(w, result);
+  }
+
+  std::string bytes = w.bytes();
+  core::ByteWriter checksum;
+  checksum.u64(core::fnv1a64(bytes));
+  bytes += checksum.bytes();
+  return bytes;
+}
+
+StoreLoadResult ResultStore::decode(const void* data, std::size_t size) {
+  StoreLoadResult out;
+  if (size < sizeof(kMagic) + 4 + 4 + 8 + kChecksumBytes) {
+    out.status = StoreStatus::kCorrupt;
+    return out;
+  }
+  const auto* bytes = static_cast<const unsigned char*>(data);
+
+  core::ByteReader header(bytes, size - kChecksumBytes);
+  for (char c : kMagic) {
+    if (header.u8() != static_cast<std::uint8_t>(c)) {
+      out.status = StoreStatus::kBadMagic;
+      return out;
+    }
+  }
+  // Version and epoch are checked before the checksum so a file written by
+  // an older or newer build reports the actionable status
+  // (delete/regenerate), not a generic corruption.
+  if (header.u32() != kFormatVersion) {
+    out.status = StoreStatus::kBadVersion;
+    return out;
+  }
+  if (header.u32() != kAlgorithmEpoch) {
+    out.status = StoreStatus::kBadVersion;
+    return out;
+  }
+
+  core::ByteReader trailer(bytes + size - kChecksumBytes, kChecksumBytes);
+  if (trailer.u64() != core::fnv1a64(bytes, size - kChecksumBytes)) {
+    out.status = StoreStatus::kCorrupt;
+    return out;
+  }
+
+  const std::uint64_t count = header.u64();
+  // A checksum-consistent file still cannot claim more entries than its
+  // payload could hold; bound before reserving so a crafted count cannot
+  // throw instead of reporting corruption.
+  if (count > header.remaining() / kMinEntryBytes) {
+    out.status = StoreStatus::kCorrupt;
+    return out;
+  }
+  out.entries.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t key = header.u64();
+    MappingSearchResult result;
+    if (!read_result(header, result)) {
+      out.entries.clear();
+      out.status = StoreStatus::kCorrupt;
+      return out;
+    }
+    out.entries.emplace_back(key, std::move(result));
+  }
+  if (!header.ok() || header.remaining() != 0) {
+    out.entries.clear();
+    out.status = StoreStatus::kCorrupt;
+    return out;
+  }
+  out.status = StoreStatus::kOk;
+  return out;
+}
+
+StoreStatus ResultStore::save(const std::string& path, StoreEntries entries) {
+  const std::string bytes = encode(std::move(entries));
+  // Unique temp name per process and call: concurrent writers sharing one
+  // cache_path (sweep shards, parallel CI jobs) must never stomp each
+  // other's partial bytes — each publishes atomically and the last rename
+  // wins.
+  static std::atomic<unsigned> save_counter{0};
+  const std::string tmp = path + ".tmp." +
+                          std::to_string(static_cast<long>(::getpid())) +
+                          "." + std::to_string(save_counter.fetch_add(1));
+  FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (!f) return StoreStatus::kIoError;
+  const bool wrote =
+      std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  const bool closed = std::fclose(f) == 0;
+  if (!wrote || !closed) {
+    std::remove(tmp.c_str());
+    return StoreStatus::kIoError;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return StoreStatus::kIoError;
+  }
+  return StoreStatus::kOk;
+}
+
+StoreLoadResult ResultStore::load(const std::string& path) {
+  StoreLoadResult out;
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) {
+    out.status = StoreStatus::kNotFound;
+    return out;
+  }
+  std::string bytes;
+  char buf[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) bytes.append(buf, n);
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) {
+    out.status = StoreStatus::kIoError;
+    return out;
+  }
+  return decode(bytes.data(), bytes.size());
+}
+
+bool warn_store_rejected(const std::string& path, StoreStatus status) {
+  if (status == StoreStatus::kOk || status == StoreStatus::kNotFound)
+    return false;
+  core::log_warn("result store '" + path + "' rejected (" +
+                 store_status_name(status) + "); starting cold");
+  return true;
+}
+
+bool warn_store_write_failed(const std::string& path, StoreStatus status) {
+  if (status == StoreStatus::kOk) return false;
+  core::log_warn("could not write result store '" + path + "' (" +
+                 store_status_name(status) + ")");
+  return true;
+}
+
+std::size_t warm_start_cache(EvalCache& cache, const std::string& path) {
+  if (path.empty()) return 0;
+  StoreLoadResult loaded = ResultStore::load(path);
+  if (loaded.status == StoreStatus::kOk)
+    return cache.preload(std::move(loaded.entries));
+  warn_store_rejected(path, loaded.status);
+  return 0;
+}
+
+void flush_cache(const EvalCache& cache, const std::string& path,
+                 bool readonly) {
+  if (path.empty() || readonly) return;
+  warn_store_write_failed(path, ResultStore::save(path, cache.snapshot()));
+}
+
+}  // namespace naas::search

@@ -1,0 +1,103 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "search/mapping_search.hpp"
+
+namespace naas::search {
+
+class EvalCache;
+
+/// Outcome of touching a persistent result store on disk.
+enum class StoreStatus {
+  kOk,           ///< loaded/saved successfully
+  kNotFound,     ///< no file at the path (normal on a first cold run)
+  kIoError,      ///< open/read/write/rename failed
+  kBadMagic,     ///< not a result-store file
+  kBadVersion,   ///< written by an incompatible format version
+  kCorrupt,      ///< truncated, checksum mismatch, or invalid field values
+};
+
+/// Short name for logs ("ok", "not-found", ...).
+const char* store_status_name(StoreStatus s);
+
+/// (cache key, memoized mapping-search result) pairs as persisted.
+using StoreEntries = std::vector<std::pair<std::uint64_t, MappingSearchResult>>;
+
+/// Result of ResultStore::load / decode.
+struct StoreLoadResult {
+  StoreStatus status = StoreStatus::kNotFound;
+  StoreEntries entries;  ///< empty unless status == kOk
+};
+
+/// Persistent, versioned, checksummed on-disk form of the mapping-result
+/// cache (search::EvalCache): what lets a new process — a CI run, a sweep
+/// shard, a benchmark rerun — warm-start from every mapping search any
+/// earlier run already paid for.
+///
+/// Format (all little-endian, doubles as IEEE-754 bit patterns):
+///
+///   magic   8 bytes  "NAASMAPS"
+///   u32     format version (kFormatVersion)
+///   u32     algorithm epoch (kAlgorithmEpoch)
+///   u64     entry count
+///   entries u64 key, then the full MappingSearchResult (mapping orders as
+///           u8 dims, tiles as i32, every CostReport metric as f64)
+///   u64     FNV-1a checksum of everything above
+///
+/// A stale (version-mismatched) or damaged (bad magic / checksum / field)
+/// file is *rejected*, never silently reused: the caller logs the status
+/// and falls back to a cold search. Saves are atomic (tmp file + rename),
+/// and entries are sorted by key so identical caches produce identical
+/// bytes.
+class ResultStore {
+ public:
+  /// Bump when the serialized *layout* changes.
+  static constexpr std::uint32_t kFormatVersion = 1;
+
+  /// Bump when *evaluation semantics* change — CostModel arithmetic or
+  /// energy constants, search_mapping, canonical_mapping, encoding decode.
+  /// The cache key fingerprints the search options, not the algorithm;
+  /// this constant covers the algorithm, so stores computed by older code
+  /// are rejected as version-mismatched instead of silently served to a
+  /// binary that would compute different numbers.
+  static constexpr std::uint32_t kAlgorithmEpoch = 1;
+
+  /// Serializes `entries` (order-insensitive; sorted internally).
+  static std::string encode(StoreEntries entries);
+
+  /// Parses bytes produced by encode(), validating magic, version,
+  /// checksum, and field ranges.
+  static StoreLoadResult decode(const void* data, std::size_t size);
+
+  /// Writes the store atomically. Returns kOk or kIoError.
+  static StoreStatus save(const std::string& path, StoreEntries entries);
+
+  /// Reads and validates the store at `path`.
+  static StoreLoadResult load(const std::string& path);
+};
+
+/// Logs the canonical warning for a rejected store load (silent for kOk
+/// and kNotFound — a missing file is a normal cold start). Returns true
+/// when a warning was emitted. Every load site routes its diagnostics
+/// through here so the policy and wording exist once.
+bool warn_store_rejected(const std::string& path, StoreStatus status);
+
+/// Logs the canonical warning for a failed store write; true when emitted.
+bool warn_store_write_failed(const std::string& path, StoreStatus status);
+
+/// The shared warm-start policy: loads the store at `path` into `cache`
+/// (no-op when `path` is empty, silent when the file does not exist yet)
+/// and logs a warning when an existing file is rejected — the caller
+/// proceeds cold. Returns the number of entries adopted.
+std::size_t warm_start_cache(EvalCache& cache, const std::string& path);
+
+/// The shared flush policy: saves `cache` to `path` unless disabled
+/// (`path` empty) or `readonly`, logging a warning when the write fails.
+void flush_cache(const EvalCache& cache, const std::string& path,
+                 bool readonly);
+
+}  // namespace naas::search

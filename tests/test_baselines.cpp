@@ -1,11 +1,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
 
 #include "arch/presets.hpp"
 #include "baselines/nasaic.hpp"
 #include "baselines/nhas.hpp"
 #include "nn/model_zoo.hpp"
+#include "search/result_store.hpp"
 
 namespace naas::baselines {
 namespace {
@@ -50,6 +52,30 @@ TEST(Nasaic, LargerBudgetNeverWorse) {
   const auto rs = run_nasaic(model, net, small);
   const auto rb = run_nasaic(model, net, big);
   EXPECT_LE(rb.latency_cycles, rs.latency_cycles * 1.001);
+}
+
+TEST(Nasaic, WarmStartFromStoreIsBitIdentical) {
+  const std::string path =
+      ::testing::TempDir() + "naas_store_nasaic_test.bin";
+  std::remove(path.c_str());
+
+  const cost::CostModel model;
+  NasaicOptions opts;
+  opts.total_pes = 256;
+  opts.pe_step = 64;
+  opts.num_threads = 1;
+  opts.cache_path = path;
+  const auto net = nn::make_cifar_net();
+  const auto cold = run_nasaic(model, net, opts);
+  ASSERT_EQ(search::ResultStore::load(path).status,
+            search::StoreStatus::kOk);
+  const auto warm = run_nasaic(model, net, opts);
+  EXPECT_EQ(warm.edp, cold.edp);
+  EXPECT_EQ(warm.latency_cycles, cold.latency_cycles);
+  EXPECT_EQ(warm.energy_nj, cold.energy_nj);
+  EXPECT_EQ(warm.dla_pes, cold.dla_pes);
+  EXPECT_EQ(warm.shi_pes, cold.shi_pes);
+  std::remove(path.c_str());
 }
 
 TEST(Nasaic, ToStringDescribesAllocation) {

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <numeric>
 
 namespace naas::search {
 namespace {
@@ -122,6 +124,202 @@ TEST(CmaEs, SigmaStaysPositiveAndBounded) {
     EXPECT_LE(cma.sigma(), 1.0);
   }
   EXPECT_EQ(cma.generation(), 30);
+}
+
+TEST(CmaEs, ConvergesOnIllConditionedQuadratic) {
+  // Regression for the sigma-ordering bug: the rank-mu covariance vectors
+  // were normalized by the *post*-CSA sigma instead of the sigma the
+  // population was sampled with, mis-scaling every covariance update by the
+  // CSA factor. On an ill-conditioned quadratic the covariance must learn
+  // the axis scaling to converge this far this fast.
+  CmaEsOptions opts;
+  opts.dim = 6;
+  opts.population = 14;
+  opts.seed = 17;
+  CmaEs cma(opts);
+  double best = 1e18;
+  for (int iter = 0; iter < 150; ++iter) {
+    const auto pop = cma.ask();
+    std::vector<double> fit;
+    for (const auto& x : pop) {
+      // Axis-aligned ellipsoid, condition number 10^4, optimum at 0.4.
+      double acc = 0;
+      for (std::size_t d = 0; d < x.size(); ++d) {
+        const double scale = std::pow(
+            10.0, 4.0 * static_cast<double>(d) /
+                      static_cast<double>(x.size() - 1));
+        acc += scale * (x[d] - 0.4) * (x[d] - 0.4);
+      }
+      fit.push_back(acc);
+      best = std::min(best, acc);
+    }
+    cma.tell(pop, fit);
+  }
+  EXPECT_LT(best, 1e-8);
+  for (double m : cma.mean()) EXPECT_NEAR(m, 0.4, 1e-3);
+}
+
+TEST(CmaEs, RankMuNormalizedBySamplingSigma) {
+  // White-box regression for the sigma-ordering bug: the rank-mu vectors
+  // y_i must be normalized by the sigma the population was *sampled* with,
+  // not the sigma CSA just produced. We engineer one generation where CSA
+  // grows sigma substantially and compare the post-update sampling spread
+  // against the standard CMA-ES formulas (computable in closed form for
+  // dim = 1); the buggy normalization lands ~26% low, far outside
+  // sampling noise.
+  CmaEsOptions opts;
+  opts.dim = 1;
+  opts.population = 400;
+  opts.seed = 5;
+  CmaEs cma(opts);
+
+  // Spec constants for n = 1, lambda = 400, mu = 200 (Hansen's tutorial
+  // formulas, the ones the constructor implements).
+  const int mu = 200;
+  std::vector<double> w(static_cast<std::size_t>(mu));
+  for (int i = 0; i < mu; ++i)
+    w[static_cast<std::size_t>(i)] = std::log(mu + 0.5) - std::log(i + 1.0);
+  double wsum = 0;
+  for (double v : w) wsum += v;
+  double w2 = 0;
+  for (double& v : w) {
+    v /= wsum;
+    w2 += v * v;
+  }
+  const double mu_eff = 1.0 / w2;
+  const double n = 1.0;
+  const double cs = (mu_eff + 2.0) / (n + mu_eff + 5.0);
+  const double ds =
+      1.0 +
+      2.0 * std::max(0.0, std::sqrt((mu_eff - 1.0) / (n + 1.0)) - 1.0) + cs;
+  const double cc = (4.0 + mu_eff / n) / (n + 4.0 + 2.0 * mu_eff / n);
+  const double c1 = 2.0 / ((n + 1.3) * (n + 1.3) + mu_eff);
+  const double cmu =
+      std::min(1.0 - c1, 2.0 * (mu_eff - 2.0 + 1.0 / mu_eff) /
+                             ((n + 2.0) * (n + 2.0) + mu_eff));
+  const double chi =
+      std::sqrt(n) * (1.0 - 1.0 / (4.0 * n) + 1.0 / (21.0 * n * n));
+
+  // One generation with every candidate at 0.6: the mean moves 0.5 -> 0.6
+  // and the step-size path jumps, so CSA grows sigma well clear of its old
+  // value.
+  const double old_sigma = cma.sigma();
+  const std::vector<std::vector<double>> pop(400, std::vector<double>{0.6});
+  std::vector<double> fit(400);
+  std::iota(fit.begin(), fit.end(), 0.0);
+  cma.tell(pop, fit);
+
+  const double y = (0.6 - 0.5) / old_sigma;
+  const double ps = std::sqrt(cs * (2.0 - cs) * mu_eff) * y;
+  const double sigma_new = std::clamp(
+      old_sigma * std::exp((cs / ds) * (std::abs(ps) / chi - 1.0)), 1e-8,
+      1.0);
+  ASSERT_NEAR(cma.sigma(), sigma_new, 1e-12);  // constants really match
+  ASSERT_GT(sigma_new / old_sigma, 1.2);  // the scenario does move sigma
+  const double h =
+      std::abs(ps) / std::sqrt(1.0 - std::pow(1.0 - cs, 2.0)) <
+              (1.4 + 2.0 / (n + 1.0)) * chi
+          ? 1.0
+          : 0.0;
+  const double pc = h * std::sqrt(cc * (2.0 - cc) * mu_eff) * y;
+  const double c1a = c1 * (1.0 - (1.0 - h * h) * cc * (2.0 - cc));
+  // All parents share y_i = y and the weights sum to 1.
+  const double cov = (1.0 - c1a - cmu) + c1 * pc * pc + cmu * y * y;
+  const double expected_std = sigma_new * std::sqrt(cov);
+
+  double sum = 0, sq = 0;
+  int count = 0;
+  for (int rep = 0; rep < 20; ++rep) {
+    for (const auto& x : cma.ask()) {
+      sum += x[0];
+      sq += x[0] * x[0];
+      ++count;
+    }
+  }
+  const double mean = sum / count;
+  const double stdev = std::sqrt(sq / count - mean * mean);
+  // 8000 draws put sampling noise ~1%; the bug shifts the spread ~26%.
+  EXPECT_NEAR(stdev, expected_std, 0.06 * expected_std);
+}
+
+TEST(CmaEs, TruncatedTellRenormalizesWeights) {
+  // Regression for the truncated-weight bug: reporting fewer candidates
+  // than the configured parent count left the weight prefix summing to
+  // less than 1, shrinking the recombined mean toward the origin. With all
+  // candidates at the same point, the new mean must be exactly that point.
+  CmaEsOptions opts;
+  opts.dim = 4;
+  opts.population = 16;
+  opts.parents = 8;
+  opts.seed = 7;
+  CmaEs cma(opts);
+  (void)cma.ask();
+
+  const std::vector<std::vector<double>> pop(3, std::vector<double>(4, 0.7));
+  cma.tell(pop, {1.0, 2.0, 3.0});
+  for (double m : cma.mean()) EXPECT_NEAR(m, 0.7, 1e-12);
+}
+
+TEST(CmaEs, TruncatedTellMatchesUntruncatedMeanSemantics) {
+  // Same property on asymmetric points: the recombined mean must be a
+  // convex combination of the reported candidates (weights sum to 1), so
+  // it lies inside their coordinate-wise hull.
+  CmaEsOptions opts;
+  opts.dim = 2;
+  opts.population = 12;
+  opts.parents = 6;
+  opts.seed = 21;
+  CmaEs cma(opts);
+  (void)cma.ask();
+
+  const std::vector<std::vector<double>> pop{{0.6, 0.8}, {0.7, 0.9}};
+  cma.tell(pop, {1.0, 2.0});
+  EXPECT_GE(cma.mean()[0], 0.6);
+  EXPECT_LE(cma.mean()[0], 0.7);
+  EXPECT_GE(cma.mean()[1], 0.8);
+  EXPECT_LE(cma.mean()[1], 0.9);
+}
+
+TEST(CmaEs, AskFallsBackToClampedMeanWhenResampleExhausted) {
+  // Regression for the ask() invariant: an unsatisfiable predicate used to
+  // leak the last invalid random sample downstream. Now every candidate is
+  // either predicate-valid or the clamped mean.
+  CmaEsOptions opts;
+  opts.dim = 3;
+  opts.population = 10;
+  opts.max_resample = 5;
+  opts.seed = 13;
+  CmaEs cma(opts);
+
+  const auto pop =
+      cma.ask([](const std::vector<double>&) { return false; });
+  ASSERT_EQ(pop.size(), 10u);
+  for (const auto& x : pop) {
+    ASSERT_EQ(x.size(), cma.mean().size());
+    for (std::size_t d = 0; d < x.size(); ++d)
+      EXPECT_EQ(x[d], std::clamp(cma.mean()[d], 0.0, 1.0));
+  }
+  EXPECT_EQ(cma.resample_exhausted(), 10);
+}
+
+TEST(CmaEs, AskNeverReturnsInvalidNonMeanPoints) {
+  // Tight-but-satisfiable predicate with a tiny resample budget: every
+  // returned candidate is either valid or the documented mean fallback.
+  CmaEsOptions opts;
+  opts.dim = 2;
+  opts.population = 30;
+  opts.max_resample = 2;
+  opts.seed = 29;
+  CmaEs cma(opts);
+  const auto valid = [](const std::vector<double>& x) {
+    return x[0] < 0.35 && x[1] < 0.35;
+  };
+  const auto pop = cma.ask(valid);
+  const auto& mean = cma.mean();
+  for (const auto& x : pop) {
+    EXPECT_TRUE(valid(x) || x == mean)
+        << "invalid non-mean candidate leaked from ask()";
+  }
 }
 
 TEST(CmaEs, HandlesInfiniteFitness) {
