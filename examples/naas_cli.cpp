@@ -14,6 +14,10 @@
 //   --cache-readonly      load the store but never write it back
 //
 // Envelope names: edgetpu, nvdla1024, nvdla256, eyeriss, shidiannao.
+//
+// For a long-lived query service over the same store (batched JSON
+// requests on stdin, warm cache, incremental store refresh), see the
+// naas_serve binary and docs/serving.md.
 
 #include <cmath>
 #include <cstdio>
@@ -180,7 +184,9 @@ int usage() {
                "       naas_cli search <net> <envelope> [iters [seed]]\n"
                "       naas_cli cosearch <envelope> <acc%%> [iters [seed]]\n"
                "flags: --cache-path <file>  persistent mapping-result store\n"
-               "       --cache-readonly     never write the store back\n");
+               "       --cache-readonly     never write the store back\n"
+               "for a long-lived batched query service over the same store,\n"
+               "run naas_serve (see docs/serving.md)\n");
   return 2;
 }
 

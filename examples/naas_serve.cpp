@@ -1,0 +1,141 @@
+// naas_serve — long-lived evaluator service over stdin/stdout.
+//
+// Reads one JSON request per line, answers one JSON response per line, in
+// request order. A *blank line* submits everything accumulated since the
+// last blank line as one batch (deduplicated, evaluated concurrently); EOF
+// submits the remainder and exits. Responses are bit-identical whether
+// requests arrive one per batch or all in one batch, and whether the
+// answer was computed or served warm from the store — which is what makes
+// a scripted session diffable across runs (CI does exactly that).
+//
+//   echo '{"id":1,"method":"search_mapping","arch":{"preset":"nvdla256"},
+//          "layer":{"network":"squeezenet","index":0}}' | naas_serve
+//
+// Methods: search_mapping, evaluate_mapping, evaluate_network,
+// cache_stats, refresh. Full request/response schema: docs/serving.md.
+//
+// Flags:
+//   --cache-path <file>   persistent result store: warm-boot from it,
+//                         append new results incrementally after each
+//                         batch, adopt other processes' appends
+//   --cache-readonly      load the store but never write it back
+//   --threads <n>         evaluation threads (0 = hardware default)
+//   --refresh-every <n>   store refresh every n batches (default 1;
+//                         0 = only at exit / on explicit "refresh")
+//   --map-population <n>  mapping-search budget (default 10). Part of the
+//   --map-iterations <n>  cache key: share a store only between services
+//   --seed <s>            with identical budgets (default 6 iters, seed 1)
+//
+// The line protocol is deliberately transport-agnostic: the same
+// EvalService can sit behind a socket accept loop later; stdin/stdout
+// makes it scriptable today.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "serve/service.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: naas_serve [--cache-path <file>] [--cache-readonly]\n"
+      "                  [--threads <n>] [--refresh-every <n>]\n"
+      "                  [--map-population <n>] [--map-iterations <n>]\n"
+      "                  [--seed <s>]\n"
+      "protocol: one JSON request per line on stdin; a blank line submits\n"
+      "the accumulated requests as one batch; EOF submits the rest.\n"
+      "One JSON response per line on stdout, in request order.\n"
+      "See docs/serving.md for the request/response schema.\n");
+  return 2;
+}
+
+bool all_whitespace(const std::string& line) {
+  for (const char c : line)
+    if (c != ' ' && c != '\t' && c != '\r') return false;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace naas;
+
+  serve::ServeOptions options;
+  options.mapping.population = 10;
+  options.mapping.iterations = 6;
+  long long refresh_every = 1;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (a == "--cache-path" && has_value) {
+      options.store_path = argv[++i];
+    } else if (a == "--cache-readonly") {
+      options.store_readonly = true;
+    } else if (a == "--threads" && has_value) {
+      options.num_threads = std::atoi(argv[++i]);
+    } else if (a == "--refresh-every" && has_value) {
+      refresh_every = std::atoll(argv[++i]);
+    } else if (a == "--map-population" && has_value) {
+      options.mapping.population = std::atoi(argv[++i]);
+    } else if (a == "--map-iterations" && has_value) {
+      options.mapping.iterations = std::atoi(argv[++i]);
+    } else if (a == "--seed" && has_value) {
+      options.mapping.seed =
+          std::strtoull(argv[++i], nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown or incomplete flag: %s\n", a.c_str());
+      return usage();
+    }
+  }
+
+  serve::EvalService service(options);
+  if (!options.store_path.empty())
+    std::fprintf(stderr, "serve: booted with %lld store entries from %s%s\n",
+                 static_cast<long long>(
+                     service.evaluator().store_entries_loaded()),
+                 options.store_path.c_str(),
+                 options.store_readonly ? " (readonly)" : "");
+
+  std::vector<std::string> batch;
+  long long batches_submitted = 0;
+  const auto submit = [&] {
+    if (batch.empty()) return;
+    for (const std::string& response : service.handle_lines(batch)) {
+      std::fputs(response.c_str(), stdout);
+      std::fputc('\n', stdout);
+    }
+    std::fflush(stdout);
+    batch.clear();
+    ++batches_submitted;
+    if (refresh_every > 0 && batches_submitted % refresh_every == 0)
+      service.refresh();
+  };
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (all_whitespace(line)) {
+      submit();
+    } else {
+      batch.push_back(line);
+    }
+  }
+  submit();
+
+  // Exit summary on stderr (stdout carries only responses). The CI session
+  // greps "mapping searches run:" to prove the warm run did zero work.
+  const auto& stats = service.stats();
+  std::fprintf(stderr,
+               "serve: %lld queries in %lld batches (%lld errors); "
+               "mapping searches run: %lld; cache entries: %lld\n",
+               stats.queries, stats.batches, stats.errors,
+               service.evaluator().mapping_searches(),
+               static_cast<long long>(service.evaluator().cache_size()));
+  return 0;
+}

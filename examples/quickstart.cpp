@@ -1,12 +1,14 @@
 // Quickstart: search an accelerator + mapping for MobileNetV2 within the
 // Eyeriss resource envelope and compare against the Eyeriss baseline.
 //
-//   ./build/quickstart [iterations] [--cache-path <file>]
+//   ./build/quickstart [iterations] [--cache-path <file>] [--cache-readonly]
 //
 // With --cache-path, the search warm-starts from the persistent
 // mapping-result store at <file> and flushes back to it: a second identical
 // run performs zero mapping searches and prints a bit-identical report
 // (store diagnostics go to stderr, so stdout stays comparable).
+// --cache-readonly loads the store without writing it back — e.g. when
+// sharing a store a long-lived naas_serve instance owns (docs/serving.md).
 //
 // This walks the full public API surface in ~40 lines of user code:
 // model zoo -> resource envelope -> run_naas -> inspect the result.
@@ -26,13 +28,17 @@ int main(int argc, char** argv) {
 
   int iterations = 10;
   std::string cache_path;
+  bool cache_readonly = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--cache-path") == 0 && i + 1 < argc) {
       cache_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--cache-readonly") == 0) {
+      cache_readonly = true;
     } else if (argv[i][0] == '-') {
       std::fprintf(stderr,
                    "unknown flag: %s\n"
-                   "usage: quickstart [iterations] [--cache-path <file>]\n",
+                   "usage: quickstart [iterations] [--cache-path <file>] "
+                   "[--cache-readonly]\n",
                    argv[i]);
       return 2;
     } else {
@@ -72,6 +78,7 @@ int main(int argc, char** argv) {
   opts.mapping.iterations = 6;
   opts.seed = 1;
   opts.cache_path = cache_path;
+  opts.cache_readonly = cache_readonly;
   const search::NaasResult result = search::run_naas(model, opts, {net});
   if (!cache_path.empty())
     std::fprintf(stderr,

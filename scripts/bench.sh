@@ -29,9 +29,10 @@ run_bench() {
 }
 
 # The scaling bench writes BENCH_parallel.json and BENCH_warm_start.json
-# itself; table4 prints the serial-vs-parallel and cold-vs-warm
-# comparisons.
+# itself, the serving bench BENCH_serve.json; table4 prints the
+# serial-vs-parallel and cold-vs-warm comparisons.
 run_bench bench_parallel_scaling
+run_bench bench_serve_throughput
 run_bench table4_search_cost
 
 if [ "${NAAS_BENCH_ALL:-0}" = "1" ]; then

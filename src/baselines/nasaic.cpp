@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "arch/presets.hpp"
+#include "core/serialize.hpp"
 #include "core/thread_pool.hpp"
 #include "mapping/canonical.hpp"
 #include "search/encoding.hpp"
@@ -21,10 +22,8 @@ constexpr std::uint64_t kNasaicKeyTag = 0x6e61736169632e31ULL;  // "nasaic.1"
 std::uint64_t nasaic_key(const arch::ArchConfig& ip,
                          const nn::ConvLayer& layer) {
   std::uint64_t h = kNasaicKeyTag;
-  const std::uint64_t parts[2] = {search::arch_fingerprint(ip),
-                                  nn::ConvLayerShapeHash{}(layer)};
-  for (std::uint64_t v : parts)
-    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  h = core::hash_mix(h, search::arch_fingerprint(ip));
+  h = core::hash_mix(h, nn::ConvLayerShapeHash{}(layer));
   return h;
 }
 

@@ -45,6 +45,10 @@ class ByteReader {
   bool ok() const { return ok_; }
   std::size_t remaining() const { return size_ - pos_; }
 
+  /// Byte offset of the next read. Lets framed formats (the segmented
+  /// result store) checksum exactly the span they just parsed.
+  std::size_t pos() const { return pos_; }
+
  private:
   bool take(std::size_t n);  ///< advances pos_; false (and !ok_) on overrun
 
@@ -57,5 +61,14 @@ class ByteReader {
 /// FNV-1a 64-bit hash, used as the store's content checksum.
 std::uint64_t fnv1a64(const void* data, std::size_t size);
 std::uint64_t fnv1a64(const std::string& bytes);
+
+/// boost-style 64-bit hash combiner. The single definition behind every
+/// fingerprint/cache-key/dedup-key mix in the codebase (arch fingerprints,
+/// evaluator cache keys, NASAIC memo keys, serve batch dedup): these keys
+/// must stay mutually consistent, so there is exactly one mixer to change.
+inline std::uint64_t hash_mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
 
 }  // namespace naas::core

@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "core/serialize.hpp"
 #include "core/stats.hpp"
 #include "core/timer.hpp"
 #include "search/cma_es.hpp"
@@ -14,10 +15,7 @@
 namespace naas::search {
 namespace {
 
-std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
-  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
-  return h;
-}
+using core::hash_mix;
 
 /// Fingerprint of everything about MappingSearchOptions that changes what
 /// search_mapping returns. Mixed into every cache key so two evaluators
@@ -25,14 +23,14 @@ std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
 /// can never share stale entries.
 std::uint64_t options_fingerprint(const MappingSearchOptions& o) {
   std::uint64_t h = 0x2545f4914f6cdd1dULL;
-  h = mix(h, static_cast<std::uint64_t>(o.population));
-  h = mix(h, static_cast<std::uint64_t>(o.iterations));
-  h = mix(h, o.seed);
-  h = mix(h, o.seed_canonical ? 1 : 0);
-  h = mix(h, static_cast<std::uint64_t>(o.encoding.order_encoding));
-  h = mix(h, o.encoding.search_order ? 1 : 0);
-  h = mix(h, static_cast<std::uint64_t>(o.encoding.fixed_dataflow));
-  h = mix(h, o.encoding.grow_tiles ? 1 : 0);
+  h = hash_mix(h, static_cast<std::uint64_t>(o.population));
+  h = hash_mix(h, static_cast<std::uint64_t>(o.iterations));
+  h = hash_mix(h, o.seed);
+  h = hash_mix(h, o.seed_canonical ? 1 : 0);
+  h = hash_mix(h, static_cast<std::uint64_t>(o.encoding.order_encoding));
+  h = hash_mix(h, o.encoding.search_order ? 1 : 0);
+  h = hash_mix(h, static_cast<std::uint64_t>(o.encoding.fixed_dataflow));
+  h = hash_mix(h, o.encoding.grow_tiles ? 1 : 0);
   return h;
 }
 
@@ -61,7 +59,7 @@ std::uint64_t ArchEvaluator::cache_key(const arch::ArchConfig& arch,
                                        const nn::ConvLayer& layer) const {
   const std::uint64_t a = arch_fingerprint(arch);
   const std::uint64_t l = nn::ConvLayerShapeHash{}(layer);
-  return mix(mix(options_fingerprint_, a), l);
+  return hash_mix(hash_mix(options_fingerprint_, a), l);
 }
 
 const MappingSearchResult& ArchEvaluator::best_mapping(

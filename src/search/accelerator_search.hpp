@@ -82,6 +82,18 @@ class ArchEvaluator {
   /// Entries adopted from load_store() calls so far.
   std::size_t store_entries_loaded() const { return store_entries_loaded_; }
 
+  /// Monotonic cache-insertion counter (see EvalCache::sequence). Record it
+  /// at a quiescent point, and snapshot_since() with that mark later
+  /// returns exactly the entries added in between — the incremental-flush
+  /// primitive the serving layer appends to its store.
+  std::uint64_t cache_sequence() const { return cache_.sequence(); }
+
+  /// Entries added after the `since` mark, sorted by key (ready for
+  /// ResultStore::append). Call when evaluation is quiescent.
+  StoreEntries snapshot_since(std::uint64_t since) const {
+    return cache_.snapshot_since(since);
+  }
+
   core::ThreadPool* pool() const { return pool_; }
 
  private:

@@ -9,7 +9,7 @@ const MappingSearchResult* EvalCache::find(std::uint64_t key) const {
   const Shard& shard = shards_[shard_index(key)];
   std::lock_guard<std::mutex> lk(shard.m);
   const auto it = shard.map.find(key);
-  return it == shard.map.end() ? nullptr : &it->second;
+  return it == shard.map.end() ? nullptr : &it->second.result;
 }
 
 const MappingSearchResult& EvalCache::publish(std::uint64_t key,
@@ -17,9 +17,10 @@ const MappingSearchResult& EvalCache::publish(std::uint64_t key,
                                               bool* inserted) {
   Shard& shard = shards_[shard_index(key)];
   std::lock_guard<std::mutex> lk(shard.m);
-  const auto [it, fresh] = shard.map.emplace(key, std::move(result));
+  const auto [it, fresh] = shard.map.emplace(key, Entry{std::move(result), 0});
+  if (fresh) it->second.seq = seq_.fetch_add(1) + 1;
   if (inserted) *inserted = fresh;
-  return it->second;
+  return it->second.result;
 }
 
 std::size_t EvalCache::size() const {
@@ -40,11 +41,16 @@ void EvalCache::clear() {
 
 std::vector<std::pair<std::uint64_t, MappingSearchResult>>
 EvalCache::snapshot() const {
+  return snapshot_since(0);
+}
+
+std::vector<std::pair<std::uint64_t, MappingSearchResult>>
+EvalCache::snapshot_since(std::uint64_t since) const {
   std::vector<std::pair<std::uint64_t, MappingSearchResult>> out;
-  out.reserve(size());
   for (const Shard& shard : shards_) {
     std::lock_guard<std::mutex> lk(shard.m);
-    for (const auto& [key, result] : shard.map) out.emplace_back(key, result);
+    for (const auto& [key, entry] : shard.map)
+      if (entry.seq > since) out.emplace_back(key, entry.result);
   }
   std::sort(out.begin(), out.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
@@ -57,7 +63,12 @@ std::size_t EvalCache::preload(
   for (auto& [key, result] : entries) {
     Shard& shard = shards_[shard_index(key)];
     std::lock_guard<std::mutex> lk(shard.m);
-    inserted += shard.map.emplace(key, std::move(result)).second ? 1 : 0;
+    const auto [it, fresh] =
+        shard.map.emplace(key, Entry{std::move(result), 0});
+    if (fresh) {
+      it->second.seq = seq_.fetch_add(1) + 1;
+      ++inserted;
+    }
   }
   return inserted;
 }

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <unordered_map>
@@ -49,6 +50,19 @@ class EvalCache {
   /// evaluation phases, not during a fan-out.
   std::vector<std::pair<std::uint64_t, MappingSearchResult>> snapshot() const;
 
+  /// Monotonic insertion counter: incremented once per entry that actually
+  /// enters the cache (publish wins and preload adoptions alike). A caller
+  /// that records `sequence()` at one quiescent point and later asks
+  /// `snapshot_since` with it gets exactly the entries added in between —
+  /// the incremental-flush primitive of the serving layer.
+  std::uint64_t sequence() const { return seq_.load(); }
+
+  /// Entries whose insertion number is greater than `since`, sorted by key.
+  /// `snapshot_since(0)` equals `snapshot()`. Consistent only when
+  /// quiescent, like snapshot().
+  std::vector<std::pair<std::uint64_t, MappingSearchResult>> snapshot_since(
+      std::uint64_t since) const;
+
   /// Bulk-inserts persisted entries (e.g. ResultStore::load). Existing keys
   /// win — a live entry is never overwritten by a stale store. Returns how
   /// many entries were actually inserted. Unlike publish, preloading does
@@ -60,9 +74,15 @@ class EvalCache {
  private:
   static constexpr std::size_t kNumShards = 64;
 
+  /// A resident result plus its insertion number (for snapshot_since).
+  struct Entry {
+    MappingSearchResult result;
+    std::uint64_t seq = 0;
+  };
+
   struct Shard {
     mutable std::mutex m;
-    std::unordered_map<std::uint64_t, MappingSearchResult> map;
+    std::unordered_map<std::uint64_t, Entry> map;
   };
 
   static std::size_t shard_index(std::uint64_t key) {
@@ -72,6 +92,7 @@ class EvalCache {
   }
 
   std::array<Shard, kNumShards> shards_;
+  std::atomic<std::uint64_t> seq_{0};
 };
 
 }  // namespace naas::search

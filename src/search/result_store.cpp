@@ -149,61 +149,56 @@ std::string ResultStore::encode(StoreEntries entries) {
 }
 
 StoreLoadResult ResultStore::decode(const void* data, std::size_t size) {
+  constexpr std::size_t kHeaderBytes = sizeof(kMagic) + 4 + 4 + 8;
   StoreLoadResult out;
-  if (size < sizeof(kMagic) + 4 + 4 + 8 + kChecksumBytes) {
-    out.status = StoreStatus::kCorrupt;
-    return out;
-  }
-  const auto* bytes = static_cast<const unsigned char*>(data);
-
-  core::ByteReader header(bytes, size - kChecksumBytes);
-  for (char c : kMagic) {
-    if (header.u8() != static_cast<std::uint8_t>(c)) {
-      out.status = StoreStatus::kBadMagic;
-      return out;
-    }
-  }
-  // Version and epoch are checked before the checksum so a file written by
-  // an older or newer build reports the actionable status
-  // (delete/regenerate), not a generic corruption.
-  if (header.u32() != kFormatVersion) {
-    out.status = StoreStatus::kBadVersion;
-    return out;
-  }
-  if (header.u32() != kAlgorithmEpoch) {
-    out.status = StoreStatus::kBadVersion;
-    return out;
-  }
-
-  core::ByteReader trailer(bytes + size - kChecksumBytes, kChecksumBytes);
-  if (trailer.u64() != core::fnv1a64(bytes, size - kChecksumBytes)) {
-    out.status = StoreStatus::kCorrupt;
-    return out;
-  }
-
-  const std::uint64_t count = header.u64();
-  // A checksum-consistent file still cannot claim more entries than its
-  // payload could hold; bound before reserving so a crafted count cannot
-  // throw instead of reporting corruption.
-  if (count > header.remaining() / kMinEntryBytes) {
-    out.status = StoreStatus::kCorrupt;
-    return out;
-  }
-  out.entries.reserve(static_cast<std::size_t>(count));
-  for (std::uint64_t i = 0; i < count; ++i) {
-    const std::uint64_t key = header.u64();
-    MappingSearchResult result;
-    if (!read_result(header, result)) {
-      out.entries.clear();
-      out.status = StoreStatus::kCorrupt;
-      return out;
-    }
-    out.entries.emplace_back(key, std::move(result));
-  }
-  if (!header.ok() || header.remaining() != 0) {
+  const auto reject = [&out](StoreStatus status) {
     out.entries.clear();
-    out.status = StoreStatus::kCorrupt;
+    out.status = status;
     return out;
+  };
+  if (size < kHeaderBytes + kChecksumBytes) return reject(StoreStatus::kCorrupt);
+
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  core::ByteReader r(bytes, size);
+  bool first_segment = true;
+  while (r.remaining() > 0) {
+    const std::size_t segment_start = r.pos();
+    if (r.remaining() < kHeaderBytes + kChecksumBytes)
+      return reject(StoreStatus::kCorrupt);
+    for (char c : kMagic) {
+      if (r.u8() != static_cast<std::uint8_t>(c)) {
+        // Garbage at offset 0 means "not a store file"; garbage after a
+        // valid segment means a damaged/torn append.
+        return reject(first_segment ? StoreStatus::kBadMagic
+                                    : StoreStatus::kCorrupt);
+      }
+    }
+    // Version and epoch are checked before the checksum so a segment
+    // written by an older or newer build reports the actionable status
+    // (delete/regenerate), not a generic corruption.
+    if (r.u32() != kFormatVersion) return reject(StoreStatus::kBadVersion);
+    if (r.u32() != kAlgorithmEpoch) return reject(StoreStatus::kBadVersion);
+
+    const std::uint64_t count = r.u64();
+    // A self-consistent segment still cannot claim more entries than its
+    // payload could hold; bound before reserving so a crafted count cannot
+    // throw instead of reporting corruption.
+    if (count > r.remaining() / kMinEntryBytes)
+      return reject(StoreStatus::kCorrupt);
+    out.entries.reserve(out.entries.size() + static_cast<std::size_t>(count));
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const std::uint64_t key = r.u64();
+      MappingSearchResult result;
+      if (!read_result(r, result)) return reject(StoreStatus::kCorrupt);
+      out.entries.emplace_back(key, std::move(result));
+    }
+    const std::size_t payload_end = r.pos();
+    const std::uint64_t checksum = r.u64();
+    if (!r.ok()) return reject(StoreStatus::kCorrupt);
+    if (checksum != core::fnv1a64(bytes + segment_start,
+                                  payload_end - segment_start))
+      return reject(StoreStatus::kCorrupt);
+    first_segment = false;
   }
   out.status = StoreStatus::kOk;
   return out;
@@ -232,6 +227,33 @@ StoreStatus ResultStore::save(const std::string& path, StoreEntries entries) {
     std::remove(tmp.c_str());
     return StoreStatus::kIoError;
   }
+  return StoreStatus::kOk;
+}
+
+StoreStatus ResultStore::append(const std::string& path, StoreEntries entries,
+                                std::size_t* bytes_appended) {
+  if (bytes_appended) *bytes_appended = 0;
+  if (entries.empty()) return StoreStatus::kOk;
+  const std::string bytes = encode(std::move(entries));
+  FILE* f = std::fopen(path.c_str(), "ab");
+  if (!f) return StoreStatus::kIoError;
+  // One unbuffered write per segment: in "a" mode the kernel places it at
+  // the current end of file, which keeps the common single-writer case
+  // torn-segment-free even while readers load concurrently.
+  std::setvbuf(f, nullptr, _IONBF, 0);
+  std::fseek(f, 0, SEEK_END);
+  const long old_size = std::ftell(f);
+  const bool wrote =
+      std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  const bool closed = std::fclose(f) == 0;
+  if (!wrote || !closed) {
+    // Roll a torn segment back so the store stays loadable; if even that
+    // fails, readers reject the corrupt file and run cold (never wrong).
+    if (old_size >= 0)
+      ::truncate(path.c_str(), static_cast<off_t>(old_size));
+    return StoreStatus::kIoError;
+  }
+  if (bytes_appended) *bytes_appended = bytes.size();
   return StoreStatus::kOk;
 }
 

@@ -35,10 +35,11 @@ struct StoreLoadResult {
 
 /// Persistent, versioned, checksummed on-disk form of the mapping-result
 /// cache (search::EvalCache): what lets a new process — a CI run, a sweep
-/// shard, a benchmark rerun — warm-start from every mapping search any
-/// earlier run already paid for.
+/// shard, a benchmark rerun, a serving instance — warm-start from every
+/// mapping search any earlier run already paid for.
 ///
-/// Format (all little-endian, doubles as IEEE-754 bit patterns):
+/// A store file is a sequence of one or more self-contained *segments*.
+/// Each segment (all little-endian, doubles as IEEE-754 bit patterns):
 ///
 ///   magic   8 bytes  "NAASMAPS"
 ///   u32     format version (kFormatVersion)
@@ -46,13 +47,23 @@ struct StoreLoadResult {
 ///   u64     entry count
 ///   entries u64 key, then the full MappingSearchResult (mapping orders as
 ///           u8 dims, tiles as i32, every CostReport metric as f64)
-///   u64     FNV-1a checksum of everything above
+///   u64     FNV-1a checksum of everything above in this segment
 ///
-/// A stale (version-mismatched) or damaged (bad magic / checksum / field)
-/// file is *rejected*, never silently reused: the caller logs the status
-/// and falls back to a cold search. Saves are atomic (tmp file + rename),
-/// and entries are sorted by key so identical caches produce identical
-/// bytes.
+/// `save` rewrites the file as a single segment; `append` adds one more
+/// segment without touching the existing bytes, which is what lets a
+/// long-lived serving process flush only its *new* entries (see
+/// serve::EvalService) instead of rewriting a growing store on every
+/// refresh. `load` parses all segments; duplicate keys across segments are
+/// harmless (results are deterministic per key, and EvalCache::preload
+/// keeps the first copy).
+///
+/// A stale (version-mismatched) or damaged (bad magic / checksum / field /
+/// truncated segment) file is *rejected as a whole*, never partially or
+/// silently reused: the caller logs the status and falls back to a cold
+/// search. Saves are atomic (tmp file + rename) and sort entries by key so
+/// identical caches produce identical bytes; appends are best-effort
+/// single-write and truncate back on failure, so a torn append degrades to
+/// a rejected store, not a wrong one.
 class ResultStore {
  public:
   /// Bump when the serialized *layout* changes.
@@ -66,15 +77,29 @@ class ResultStore {
   /// binary that would compute different numbers.
   static constexpr std::uint32_t kAlgorithmEpoch = 1;
 
-  /// Serializes `entries` (order-insensitive; sorted internally).
+  /// Serializes `entries` as one segment (order-insensitive; sorted
+  /// internally).
   static std::string encode(StoreEntries entries);
 
-  /// Parses bytes produced by encode(), validating magic, version,
-  /// checksum, and field ranges.
+  /// Parses one or more concatenated segments produced by encode(),
+  /// validating magic, version, per-segment checksum, and field ranges.
+  /// Any damaged segment rejects the whole buffer.
   static StoreLoadResult decode(const void* data, std::size_t size);
 
-  /// Writes the store atomically. Returns kOk or kIoError.
+  /// Rewrites the store atomically as a single segment (also the way to
+  /// compact a many-segment append log). Returns kOk or kIoError.
   static StoreStatus save(const std::string& path, StoreEntries entries);
+
+  /// Appends `entries` as one new segment without rewriting the existing
+  /// file (creates it when missing; no-op kOk when `entries` is empty).
+  /// The incremental-flush half of the serving story: cost is proportional
+  /// to the *new* entries, not the store size. On a failed or short write
+  /// the file is truncated back to its prior length so a torn segment
+  /// cannot linger. `bytes_appended` (optional) reports how many bytes the
+  /// file grew, which lets callers distinguish their own append from a
+  /// concurrent writer's when deciding whether to reload.
+  static StoreStatus append(const std::string& path, StoreEntries entries,
+                            std::size_t* bytes_appended = nullptr);
 
   /// Reads and validates the store at `path`.
   static StoreLoadResult load(const std::string& path);

@@ -1,0 +1,100 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace naas::serve {
+
+/// Minimal JSON value for the line-oriented serving protocol. Self-contained
+/// on purpose (the container bakes in no JSON library) and tuned for the
+/// service's needs rather than generality:
+///
+///  - *Deterministic text.* Object keys keep insertion order and numbers
+///    format as a pure function of their bit pattern (shortest string that
+///    round-trips), so two responses built from identical values are
+///    byte-identical — the property the cold-vs-warm CI diff rests on.
+///  - *Never throws on input.* `parse` reports failures through an error
+///    string; a malformed request line becomes a structured error response,
+///    not a crash.
+///  - *Small objects.* Member lookup is linear; protocol objects have a
+///    handful of keys. Do not use this for large documents.
+///
+/// Non-finite doubles have no JSON spelling; they serialize as `null`
+/// (relevant for +inf EDP of illegal mappings), and `as_double` on null
+/// returns NaN so the round trip stays lossless in spirit.
+class Json {
+ public:
+  enum class Type { kNull, kBool, kInt, kDouble, kString, kArray, kObject,
+                    kRaw };
+
+  Json() = default;  ///< null
+  static Json null();
+  static Json boolean(bool v);
+  static Json number(double v);
+  static Json integer(std::int64_t v);
+  static Json string(std::string v);
+  static Json array();
+  static Json object();
+  /// Pre-serialized JSON spliced into dump() verbatim — the service's
+  /// response-payload memo hands back cached result text without
+  /// rebuilding the tree. Never produced by parse(); the caller owns the
+  /// validity of `text`.
+  static Json raw(std::string text);
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const {
+    return type_ == Type::kInt || type_ == Type::kDouble;
+  }
+  bool is_int() const { return type_ == Type::kInt; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Value accessors; wrong-type access returns the neutral value noted.
+  bool as_bool(bool fallback = false) const;
+  double as_double(double fallback = 0) const;  ///< null => NaN
+  std::int64_t as_int(std::int64_t fallback = 0) const;
+  const std::string& as_string() const;  ///< "" when not a string
+
+  /// Array access.
+  std::size_t size() const;  ///< elements (array) or members (object)
+  const Json& at(std::size_t i) const;  ///< null sentinel when out of range
+  Json& push(Json v);  ///< appends (asserts array); returns the element
+
+  /// Object access.
+  const Json* get(const std::string& key) const;  ///< nullptr when absent
+  Json& set(const std::string& key, Json v);  ///< insert or overwrite
+  const std::vector<std::pair<std::string, Json>>& members() const {
+    return members_;
+  }
+
+  /// Serializes on one line, no trailing newline. Deterministic.
+  std::string dump() const;
+
+  /// Parses `text` (one complete JSON value, optionally surrounded by
+  /// whitespace). On failure returns null and sets `*error` to a
+  /// position-annotated message; `*error` is cleared on success.
+  static Json parse(const std::string& text, std::string* error);
+
+ private:
+  void dump_to(std::string& out) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double num_ = 0;
+  std::string str_;
+  std::vector<Json> elems_;
+  std::vector<std::pair<std::string, Json>> members_;
+};
+
+/// Shortest decimal string that parses back to exactly `v` (bit pattern).
+/// Non-finite values render as "null". Shared by Json::dump and any code
+/// that wants deterministic numeric text.
+std::string format_double(double v);
+
+}  // namespace naas::serve

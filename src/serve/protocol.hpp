@@ -1,0 +1,98 @@
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "arch/accelerator.hpp"
+#include "cost/cost_model.hpp"
+#include "cost/network_cost.hpp"
+#include "mapping/mapping.hpp"
+#include "nn/layer.hpp"
+#include "nn/network.hpp"
+#include "search/mapping_search.hpp"
+#include "serve/json.hpp"
+
+namespace naas::serve {
+
+/// The line-oriented query protocol of the evaluator service (full schema
+/// with examples in docs/serving.md). One JSON object per line:
+///
+///   request  {"id": <any>, "method": "<name>", ...params}
+///   success  {"id": <echoed>, "ok": true, "result": {...}}
+///   failure  {"id": <echoed>, "ok": false,
+///             "error": {"code": "<code>", "message": "..."}}
+///
+/// Methods: "search_mapping", "evaluate_mapping", "evaluate_network",
+/// "cache_stats", "refresh". Success results for the evaluation methods
+/// are pure functions of (request, service options), never of cache state
+/// or timing — that is what makes a warm response diffable against a cold
+/// one.
+///
+/// Error codes, stable for scripting:
+inline constexpr const char* kErrParse = "parse_error";
+inline constexpr const char* kErrBadRequest = "bad_request";
+inline constexpr const char* kErrUnknownMethod = "unknown_method";
+inline constexpr const char* kErrInternal = "internal_error";
+
+/// --- domain <-> JSON -----------------------------------------------------
+/// The *_from_json parsers accept what the matching *_to_json emits plus
+/// the documented shorthand forms; they never throw, returning false with a
+/// human-readable `*err` instead.
+
+/// Arch spec: {"preset": "nvdla256"} (edgetpu | nvdla1024 | nvdla256 |
+/// eyeriss | shidiannao) or an explicit config {"array_dims": [16,16],
+/// "parallel_dims": ["C","K"], "l1_bytes": .., "l2_bytes": ..,
+/// "noc_bandwidth": .., "dram_bandwidth": .., "name"?: ..}.
+Json arch_to_json(const arch::ArchConfig& cfg);
+bool arch_from_json(const Json& j, arch::ArchConfig* out, std::string* err);
+
+/// Resolves a model-zoo network name to a (caller-owned) Network, or
+/// nullptr with `*err` set. The service installs a memoizing resolver so a
+/// hot query loop does not rebuild ResNet50 per request; the default
+/// resolver is a plain nn::make_network call.
+using NetworkResolver = std::function<const nn::Network*(
+    const std::string& name, std::string* err)>;
+
+/// Layer spec: {"network": "resnet50", "index": 3} (model-zoo lookup) or an
+/// explicit shape {"kind": "conv"|"dwconv"|"fc", "batch": ..,
+/// "out_channels": .., "in_channels": .., "out_h": .., "out_w": ..,
+/// "kernel_h": .., "kernel_w": .., "stride": .., "name"?: ..}.
+Json layer_to_json(const nn::ConvLayer& layer);
+bool layer_from_json(const Json& j, nn::ConvLayer* out, std::string* err);
+bool layer_from_json(const Json& j, nn::ConvLayer* out, std::string* err,
+                     const NetworkResolver& resolver);
+
+/// Mapping spec mirrors mapping::Mapping: {"dram": {"order": [7 dim names,
+/// outermost first], "tile": [7 ints in canonical N,K,C,Y',X',R,S order]},
+/// "pe": {...}, "pe_order": [...]}.
+Json mapping_to_json(const mapping::Mapping& m);
+bool mapping_from_json(const Json& j, mapping::Mapping* out,
+                       std::string* err);
+
+/// Full per-layer cost report. Non-finite metrics (illegal mappings carry
+/// +inf EDP) serialize as null.
+Json report_to_json(const cost::CostReport& report);
+
+/// Whole-network cost summary with the per-unique-layer breakdown.
+Json network_cost_to_json(const cost::NetworkCost& cost);
+
+/// search_mapping result payload: mapping + report + best_edp +
+/// evaluations (the search cost *when the entry was first computed* — a
+/// property of the stored result, so warm answers echo it unchanged).
+Json mapping_search_result_to_json(const search::MappingSearchResult& r);
+
+/// --- response envelopes --------------------------------------------------
+
+/// {"id": id, "ok": true, "result": result}
+Json ok_response(const Json& id, Json result);
+
+/// {"id": id, "ok": false, "error": {"code": code, "message": message}}
+Json error_response(const Json& id, const std::string& code,
+                    const std::string& message);
+
+/// Dimension helpers shared by the mapping converters: canonical short
+/// names ("N","K","C","Y'","X'","R","S"; "Yp"/"Xp" accepted on input).
+const char* dim_json_name(nn::Dim d);
+bool dim_from_json_name(const std::string& name, nn::Dim* out);
+
+}  // namespace naas::serve

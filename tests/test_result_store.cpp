@@ -220,6 +220,161 @@ TEST(ResultStore, RejectsTrailingGarbage) {
   EXPECT_EQ(loaded.status, search::StoreStatus::kCorrupt);
 }
 
+// ------------------------------------------------------ incremental append
+
+TEST(ResultStore, AppendCreatesFileWhenMissing) {
+  const std::string path = temp_store_path("append_create");
+  std::remove(path.c_str());
+  search::StoreEntries entries;
+  entries.emplace_back(7, sample_result());
+  std::size_t bytes_appended = 0;
+  ASSERT_EQ(search::ResultStore::append(path, entries, &bytes_appended),
+            search::StoreStatus::kOk);
+  EXPECT_GT(bytes_appended, 0u);
+  const auto loaded = search::ResultStore::load(path);
+  ASSERT_EQ(loaded.status, search::StoreStatus::kOk);
+  ASSERT_EQ(loaded.entries.size(), 1u);
+  expect_results_equal(loaded.entries[0].second, sample_result());
+  std::remove(path.c_str());
+}
+
+TEST(ResultStore, AppendedSegmentsAllLoad) {
+  const std::string path = temp_store_path("append_segments");
+  std::remove(path.c_str());
+  search::StoreEntries first;
+  first.emplace_back(1, sample_result());
+  first.emplace_back(2, illegal_result());
+  ASSERT_EQ(search::ResultStore::save(path, first),
+            search::StoreStatus::kOk);
+
+  search::StoreEntries second;
+  second.emplace_back(3, sample_result());
+  ASSERT_EQ(search::ResultStore::append(path, second),
+            search::StoreStatus::kOk);
+  search::StoreEntries third;
+  third.emplace_back(4, illegal_result());
+  ASSERT_EQ(search::ResultStore::append(path, third),
+            search::StoreStatus::kOk);
+
+  const auto loaded = search::ResultStore::load(path);
+  ASSERT_EQ(loaded.status, search::StoreStatus::kOk);
+  EXPECT_EQ(loaded.entries.size(), 4u);
+
+  // Loading into a cache adopts every segment's entries.
+  search::EvalCache cache;
+  EXPECT_EQ(cache.preload(loaded.entries), 4u);
+  std::remove(path.c_str());
+}
+
+TEST(ResultStore, AppendEmptyIsANoOp) {
+  const std::string path = temp_store_path("append_empty");
+  std::remove(path.c_str());
+  std::size_t bytes_appended = 99;
+  EXPECT_EQ(search::ResultStore::append(path, {}, &bytes_appended),
+            search::StoreStatus::kOk);
+  EXPECT_EQ(bytes_appended, 0u);
+  // No file materializes for an empty append.
+  EXPECT_EQ(search::ResultStore::load(path).status,
+            search::StoreStatus::kNotFound);
+}
+
+TEST(ResultStore, DuplicateKeysAcrossSegmentsKeepFirstCopy) {
+  // Two processes may race to compute and append the same key; results are
+  // deterministic per key, so the cache keeps the first and the answer is
+  // unchanged either way.
+  const std::string path = temp_store_path("append_dup");
+  std::remove(path.c_str());
+  search::StoreEntries first;
+  first.emplace_back(5, sample_result());
+  ASSERT_EQ(search::ResultStore::save(path, first),
+            search::StoreStatus::kOk);
+  search::StoreEntries dup;
+  dup.emplace_back(5, sample_result());
+  ASSERT_EQ(search::ResultStore::append(path, dup),
+            search::StoreStatus::kOk);
+
+  const auto loaded = search::ResultStore::load(path);
+  ASSERT_EQ(loaded.status, search::StoreStatus::kOk);
+  EXPECT_EQ(loaded.entries.size(), 2u);
+  search::EvalCache cache;
+  EXPECT_EQ(cache.preload(loaded.entries), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(ResultStore, RejectsCorruptLaterSegment) {
+  // A flipped byte in any appended segment rejects the whole file — a
+  // partially-valid store is never served.
+  std::string bytes = encode_single_entry_store();
+  const std::size_t second_start = bytes.size();
+  bytes += encode_single_entry_store();
+  bytes[second_start + 30] ^= 0x40;
+  const auto loaded = search::ResultStore::decode(bytes.data(), bytes.size());
+  EXPECT_EQ(loaded.status, search::StoreStatus::kCorrupt);
+  EXPECT_TRUE(loaded.entries.empty());
+}
+
+TEST(ResultStore, RejectsVersionMismatchInLaterSegment) {
+  std::string bytes = encode_single_entry_store();
+  const std::size_t second_start = bytes.size();
+  bytes += encode_single_entry_store();
+  // Byte 8 of a segment is the low byte of its format version.
+  bytes[second_start + 8] ^= 0xff;
+  const auto loaded = search::ResultStore::decode(bytes.data(), bytes.size());
+  EXPECT_EQ(loaded.status, search::StoreStatus::kBadVersion);
+}
+
+TEST(ResultStore, RejectsTruncatedLaterSegment) {
+  std::string bytes = encode_single_entry_store();
+  bytes += encode_single_entry_store().substr(0, 40);
+  const auto loaded = search::ResultStore::decode(bytes.data(), bytes.size());
+  EXPECT_EQ(loaded.status, search::StoreStatus::kCorrupt);
+}
+
+// ------------------------------------------------------ cache snapshots
+
+TEST(EvalCacheSince, SnapshotSinceReturnsOnlyNewEntries) {
+  search::EvalCache cache;
+  EXPECT_EQ(cache.sequence(), 0u);
+  bool inserted = false;
+  cache.publish(10, sample_result(), &inserted);
+  ASSERT_TRUE(inserted);
+  cache.publish(20, illegal_result(), &inserted);
+  const std::uint64_t mark = cache.sequence();
+  EXPECT_EQ(mark, 2u);
+  EXPECT_TRUE(cache.snapshot_since(mark).empty());
+
+  cache.publish(30, sample_result(), &inserted);
+  cache.publish(5, illegal_result(), &inserted);
+  const auto fresh = cache.snapshot_since(mark);
+  ASSERT_EQ(fresh.size(), 2u);
+  // Sorted by key, independent of insertion order.
+  EXPECT_EQ(fresh[0].first, 5u);
+  EXPECT_EQ(fresh[1].first, 30u);
+  // snapshot_since(0) equals the full snapshot.
+  EXPECT_EQ(cache.snapshot_since(0).size(), cache.snapshot().size());
+}
+
+TEST(EvalCacheSince, LosingRacesAndPreloadSkipsConsumeNoSequence) {
+  search::EvalCache cache;
+  bool inserted = false;
+  cache.publish(1, sample_result(), &inserted);
+  const std::uint64_t mark = cache.sequence();
+  // Duplicate publish loses and must not advance the sequence.
+  cache.publish(1, illegal_result(), &inserted);
+  EXPECT_FALSE(inserted);
+  EXPECT_EQ(cache.sequence(), mark);
+  // Preload of an existing key is skipped; a new key advances once.
+  search::StoreEntries entries;
+  entries.emplace_back(1, sample_result());
+  entries.emplace_back(2, sample_result());
+  EXPECT_EQ(cache.preload(entries), 1u);
+  EXPECT_EQ(cache.sequence(), mark + 1);
+  const auto fresh = cache.snapshot_since(mark);
+  ASSERT_EQ(fresh.size(), 1u);
+  EXPECT_EQ(fresh[0].first, 2u);
+}
+
 // ------------------------------------------------------------- warm start
 
 nn::Network small_network() {
