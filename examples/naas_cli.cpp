@@ -110,6 +110,14 @@ void report_store(const StoreFlags& store, long long entries_loaded,
                store.cache_readonly ? " (readonly)" : "");
 }
 
+/// Batched-cost-model work summary (stderr, like the store diagnostics).
+void report_batch(long long generations, long long candidates) {
+  std::fprintf(stderr,
+               "batch: %lld CMA generations batch-evaluated (%lld "
+               "candidates)\n",
+               generations, candidates);
+}
+
 int cmd_search(const std::string& net_name, const std::string& env_name,
                int iterations, std::uint64_t seed, const StoreFlags& store) {
   const auto net = nn::make_network(net_name);
@@ -127,6 +135,7 @@ int cmd_search(const std::string& net_name, const std::string& env_name,
   opts.cache_readonly = store.cache_readonly;
   const auto res = search::run_naas(model, opts, {net});
   report_store(store, res.store_entries_loaded, res.mapping_searches);
+  report_batch(res.generations_batched, res.candidates_batch_evaluated);
   if (!std::isfinite(res.best_geomean_edp)) {
     std::fprintf(stderr, "search failed to find a valid design\n");
     return 1;
@@ -162,6 +171,7 @@ int cmd_cosearch(const std::string& env_name, double min_accuracy,
   opts.cache_readonly = store.cache_readonly;
   const auto res = nas::run_cosearch(model, opts);
   report_store(store, res.store_entries_loaded, res.mapping_searches);
+  report_batch(res.generations_batched, res.candidates_batch_evaluated);
   if (!std::isfinite(res.best_edp)) {
     std::fprintf(stderr,
                  "no accuracy-feasible subnet found; lower the floor\n");

@@ -137,5 +137,10 @@ int main(int argc, char** argv) {
                stats.queries, stats.batches, stats.errors,
                service.evaluator().mapping_searches(),
                static_cast<long long>(service.evaluator().cache_size()));
+  std::fprintf(stderr,
+               "serve: batched cost model scored %lld CMA generations "
+               "(%lld candidates)\n",
+               service.evaluator().generations_batched(),
+               service.evaluator().candidates_batch_evaluated());
   return 0;
 }

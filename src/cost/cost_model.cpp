@@ -1,8 +1,12 @@
 #include "cost/cost_model.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
+#include <cstdint>
 #include <limits>
+#include <string>
+#include <vector>
 
 #include "cost/reuse.hpp"
 #include "mapping/footprint.hpp"
@@ -14,248 +18,578 @@ namespace {
 using mapping::TileSizes;
 using mapping::tile_of;
 
+constexpr std::size_t kD = static_cast<std::size_t>(nn::kNumDims);
+
 long long ceil_div(long long a, long long b) { return (a + b - 1) / b; }
 
-/// Everything the traffic formulas need about one array axis.
-struct AxisInfo {
-  nn::Dim dim = nn::Dim::kK;  ///< dimension this axis parallelizes
-  int size = 1;               ///< physical PEs along the axis
-  int used = 1;               ///< active PEs along the axis for this tile
+/// Workspace for one evaluate_batch call. Per-dimension geometry arrays
+/// (tiles, shares, trip counts) are candidate-major — slot j's seven dims
+/// share a cache line, matching the per-candidate scans of stage 2 — while
+/// every stage-3 operand is one flat slot-indexed column, the
+/// struct-of-arrays layout the vector pass streams through. Thread-local
+/// so the search
+/// fan-out reuses one allocation per worker across every generation; all
+/// slots consumed by a call are written by that call first, so reuse never
+/// leaks state between batches (determinism is preserved).
+struct BatchScratch {
+  // Geometry (stage 1): clamped tiles, per-PE shares, trip counts.
+  std::vector<int> t2, t1, shr;      // kD * n ints
+  std::vector<double> n2, n1;        // kD * n doubles
+  // Tile footprints as the doubles the traffic formulas consume.
+  std::vector<double> fp2_in, fp2_w, fp2_out, fp2_tot;
+  std::vector<double> fp1_in, fp1_w, fp1_out;
+  std::vector<double> used;          // kMaxArrayDims * n active-PE counts
+  // Order-dependent factors (stage 2).
+  std::vector<double> phases, per_pe_iters;
+  std::vector<double> in_f2, w_f2, out_f2, out_d2;
+  std::vector<double> in_f1, w_f1, out_f1, out_d1;
+  std::vector<double> in_rr, w_rr, out_rr;
+  std::vector<double> in_mult, w_mult, out_mult, red_extent, fanout;
+  // Flat arithmetic outputs (stage 3).
+  std::vector<double> dram_bytes, l2_read, l2_write, l1_access;
+  std::vector<double> noc_delivery, red_hops;
+  std::vector<double> compute_cyc, noc_cyc, dram_cyc, latency, util;
+  std::vector<double> e_l1, e_l2, e_noc, e_dram, e_total_nj, edp;
+  std::vector<std::size_t> live;     // slot -> original candidate index
+
+  void reserve(std::size_t n) {
+    t2.resize(kD * n);
+    t1.resize(kD * n);
+    shr.resize(kD * n);
+    n2.resize(kD * n);
+    n1.resize(kD * n);
+    for (auto* v : {&fp2_in, &fp2_w, &fp2_out, &fp2_tot, &fp1_in, &fp1_w,
+                    &fp1_out, &phases, &per_pe_iters, &in_f2, &w_f2, &out_f2,
+                    &out_d2, &in_f1, &w_f1, &out_f1, &out_d1, &in_rr, &w_rr,
+                    &out_rr, &in_mult, &w_mult, &out_mult, &red_extent,
+                    &fanout, &dram_bytes, &l2_read, &l2_write, &l1_access,
+                    &noc_delivery, &red_hops, &compute_cyc, &noc_cyc,
+                    &dram_cyc, &latency, &util, &e_l1, &e_l2, &e_noc, &e_dram,
+                    &e_total_nj, &edp})
+      v->resize(n);
+    used.resize(static_cast<std::size_t>(arch::kMaxArrayDims) * n);
+    live.clear();
+    live.reserve(n);
+  }
 };
 
-/// Spatial traffic multiplier for the *input* tensor along one axis.
-/// Unlike weights/outputs, input slices of neighboring PEs overlap when the
-/// axis parallelizes a spatial dimension (sliding-window halo), and real
-/// multicast NoCs (Eyeriss's diagonal delivery) exploit that overlap. The
-/// multiplier is the ratio of the union extent to the per-PE extent,
-/// clamped to [1, used].
-double input_axis_multiplier(const nn::ConvLayer& layer, const TileSizes& t2,
-                             const TileSizes& share, const AxisInfo& axis) {
-  const bool dw = layer.kind == nn::LayerKind::kDepthwiseConv;
-  const double used = axis.used;
-  // Distinct input rows read for `out` outputs with `kr` kernel rows in the
-  // tile (see footprint.cpp: span capped when stride exceeds kernel rows).
-  const auto extent = [&layer](int out, int kr) {
-    return static_cast<double>((out - 1) * std::min(layer.stride, kr) + kr);
+thread_local BatchScratch tls_scratch;
+
+void fill_illegal(CostReport& rep, std::string reason) {
+  rep = CostReport{};
+  rep.illegal_reason = std::move(reason);
+  rep.edp = std::numeric_limits<double>::infinity();
+}
+
+/// is_valid_order (mapping.cpp) as a branch-light bitmask: seven in-range
+/// entries OR to exactly 0x7f iff they are a permutation.
+bool order_is_permutation(const mapping::LoopOrder& order) {
+  unsigned mask = 0;
+  for (nn::Dim dim : order) {
+    const auto i = static_cast<unsigned>(static_cast<int>(dim));
+    if (i >= kD) return false;
+    mask |= 1u << i;
+  }
+  return mask == (1u << kD) - 1u;
+}
+
+/// reload_factor (reuse.cpp) for all three tensors of one temporal level
+/// in a single scan, with relevance pre-reduced to bit masks. Each tensor
+/// keeps its own accumulator and multiplies exactly the trips the scalar
+/// routine would, in the same innermost-to-outermost sequence — fusing the
+/// scans changes nothing about any tensor's rounding order.
+void reload_factors_masked(const mapping::LoopOrder& order,
+                           const double* trips, std::uint8_t in_mask,
+                           std::uint8_t w_mask, std::uint8_t out_mask,
+                           double* in_f, double* w_f, double* out_f) {
+  double fi = 1.0, fw = 1.0, fo = 1.0;
+  bool si = false, sw = false, so = false;  // seen-relevant per tensor
+  for (int i = nn::kNumDims - 1; i >= 0; --i) {
+    const auto d = static_cast<std::size_t>(
+        static_cast<int>(order[static_cast<std::size_t>(i)]));
+    const double trip = trips[d];
+    if (trip <= 1.0) continue;  // a single-trip loop is no loop at all
+    const auto bit = static_cast<std::uint8_t>(1u << d);
+    // Relevant loops refetch; irrelevant loops refetch only when a
+    // relevant loop sits deeper inside (otherwise: temporal reuse).
+    if (in_mask & bit) {
+      fi *= trip;
+      si = true;
+    } else if (si) {
+      fi *= trip;
+    }
+    if (w_mask & bit) {
+      fw *= trip;
+      sw = true;
+    } else if (sw) {
+      fw *= trip;
+    }
+    if (out_mask & bit) {
+      fo *= trip;
+      so = true;
+    } else if (so) {
+      fo *= trip;
+    }
+  }
+  *in_f = fi;
+  *w_f = fw;
+  *out_f = fo;
+}
+
+/// distinct_tiles (reuse.cpp) over staged trips: product of relevant trips
+/// in canonical dim order.
+double distinct_tiles_masked(const double* trips, std::uint8_t mask) {
+  double n = 1.0;
+  for (std::size_t d = 0; d < kD; ++d)
+    if ((mask >> d) & 1u) n *= trips[d];
+  return n;
+}
+
+/// register_reuse (reuse.cpp) for all three tensors in one scan over the
+/// L1 tile sizes: a tensor accumulates trips until its first relevant
+/// loop, then stops — per-tensor multiplication order is untouched.
+void register_reuse_masked(const mapping::LoopOrder& order, const int* t1,
+                           std::uint8_t in_mask, std::uint8_t w_mask,
+                           std::uint8_t out_mask, double* in_r, double* w_r,
+                           double* out_r) {
+  double ri = 1.0, rw = 1.0, ro = 1.0;
+  bool di = false, dw = false, dout = false;  // hit the relevant barrier
+  for (int i = nn::kNumDims - 1; i >= 0; --i) {
+    const auto d = static_cast<std::size_t>(
+        static_cast<int>(order[static_cast<std::size_t>(i)]));
+    const double trip = static_cast<double>(t1[d]);
+    if (trip <= 1.0) continue;  // degenerate loop: neither reuse nor barrier
+    const auto bit = static_cast<std::uint8_t>(1u << d);
+    if (!di) {
+      if (in_mask & bit) di = true; else ri *= trip;
+    }
+    if (!dw) {
+      if (w_mask & bit) dw = true; else rw *= trip;
+    }
+    if (!dout) {
+      if (out_mask & bit) dout = true; else ro *= trip;
+    }
+    if (di && dw && dout) break;
+  }
+  *in_r = ri;
+  *w_r = rw;
+  *out_r = ro;
+}
+
+/// Distinct input rows/cols read for `out` outputs with `kr` kernel rows —
+/// the extent lambda of the scalar input_axis_multiplier.
+double halo_extent(int stride, int out, int kr) {
+  return static_cast<double>((out - 1) * std::min(stride, kr) + kr);
+}
+
+/// input_axis_multiplier (scalar path) for the four halo kinds — the
+/// caller resolves kOne/kUsed inline and only dispatches here when an
+/// axis splits a spatial or kernel dimension.
+double input_multiplier(const LayerContext& ctx, const AxisContext& ax,
+                        const int* t2_row, const int* shr_row, double used) {
+  const auto at = [](const int* row, nn::Dim d) {
+    return row[static_cast<std::size_t>(static_cast<int>(d))];
   };
-  switch (axis.dim) {
-    case nn::Dim::kN: return used;
-    case nn::Dim::kK: return dw ? used : 1.0;  // broadcast over K for conv
-    case nn::Dim::kC: return dw ? 1.0 : used;
-    case nn::Dim::kYp: {
-      const double union_rows = extent(tile_of(t2, nn::Dim::kYp),
-                                       tile_of(t2, nn::Dim::kR));
-      const double pe_rows = extent(tile_of(share, nn::Dim::kYp),
-                                    tile_of(t2, nn::Dim::kR));
+  switch (ax.input_kind) {
+    case AxisInputKind::kHaloYp: {
+      const double union_rows =
+          halo_extent(ctx.stride, at(t2_row, nn::Dim::kYp), at(t2_row, nn::Dim::kR));
+      const double pe_rows =
+          halo_extent(ctx.stride, at(shr_row, nn::Dim::kYp), at(t2_row, nn::Dim::kR));
       return std::clamp(union_rows / pe_rows, 1.0, used);
     }
-    case nn::Dim::kXp: {
-      const double union_cols = extent(tile_of(t2, nn::Dim::kXp),
-                                       tile_of(t2, nn::Dim::kS));
-      const double pe_cols = extent(tile_of(share, nn::Dim::kXp),
-                                    tile_of(t2, nn::Dim::kS));
+    case AxisInputKind::kHaloXp: {
+      const double union_cols =
+          halo_extent(ctx.stride, at(t2_row, nn::Dim::kXp), at(t2_row, nn::Dim::kS));
+      const double pe_cols =
+          halo_extent(ctx.stride, at(shr_row, nn::Dim::kXp), at(t2_row, nn::Dim::kS));
       return std::clamp(union_cols / pe_cols, 1.0, used);
     }
-    case nn::Dim::kR: {
-      const double union_rows = extent(tile_of(t2, nn::Dim::kYp),
-                                       tile_of(t2, nn::Dim::kR));
-      const double pe_rows = extent(tile_of(t2, nn::Dim::kYp),
-                                    tile_of(share, nn::Dim::kR));
+    case AxisInputKind::kHaloR: {
+      const double union_rows =
+          halo_extent(ctx.stride, at(t2_row, nn::Dim::kYp), at(t2_row, nn::Dim::kR));
+      const double pe_rows =
+          halo_extent(ctx.stride, at(t2_row, nn::Dim::kYp), at(shr_row, nn::Dim::kR));
       return std::clamp(union_rows / pe_rows, 1.0, used);
     }
-    case nn::Dim::kS: {
-      const double union_cols = extent(tile_of(t2, nn::Dim::kXp),
-                                       tile_of(t2, nn::Dim::kS));
-      const double pe_cols = extent(tile_of(t2, nn::Dim::kXp),
-                                    tile_of(share, nn::Dim::kS));
+    case AxisInputKind::kHaloS: {
+      const double union_cols =
+          halo_extent(ctx.stride, at(t2_row, nn::Dim::kXp), at(t2_row, nn::Dim::kS));
+      const double pe_cols =
+          halo_extent(ctx.stride, at(t2_row, nn::Dim::kXp), at(shr_row, nn::Dim::kS));
       return std::clamp(union_cols / pe_cols, 1.0, used);
     }
+    default: break;  // kOne/kUsed never reach here (caller fast path)
   }
   return used;
 }
 
+/// Legality + geometry for one candidate: the mapping::check sequence with
+/// the arch-invariant work (dim bounds, parallel extents, buffer caps)
+/// read from the context, fused with the clamp/share/trip-count setup of
+/// the scalar evaluator so footprints are computed once, not twice.
+/// On success stage-1 columns of slot `j` are filled and true is returned;
+/// on failure `rep` carries the same reason string mapping::check builds.
+bool stage_geometry(const LayerContext& ctx, const mapping::Mapping& m,
+                    std::size_t j, BatchScratch& s, CostReport& rep) {
+  if (!order_is_permutation(m.dram.order)) {
+    fill_illegal(rep, mapping::kReasonDramOrder);
+    return false;
+  }
+  if (!order_is_permutation(m.pe.order)) {
+    fill_illegal(rep, mapping::kReasonPeOrder);
+    return false;
+  }
+  if (!order_is_permutation(m.pe_order)) {
+    fill_illegal(rep, mapping::kReasonRegisterOrder);
+    return false;
+  }
+  int t2l[kD], t1l[kD], shrl[kD];
+  for (nn::Dim dim : nn::all_dims()) {
+    const auto d = static_cast<std::size_t>(static_cast<int>(dim));
+    const int size = ctx.dim_size[d];
+    // TileSizes is indexed by the dim's enum value (tile_of's contract);
+    // direct indexing keeps the 14 hottest loads of the pass call-free.
+    const int t2_raw = m.dram.tile[d];
+    if (t2_raw < 1 || t2_raw > size) {
+      fill_illegal(rep, mapping::reason_dram_tile_range(dim));
+      return false;
+    }
+    const int t1_raw = m.pe.tile[d];
+    // pe_share(layer, arch, m.dram.tile, dim) with the clamp a no-op
+    // (t2_raw is in range) and the extent a context lookup. The trivial
+    // operand cases skip the integer division (the dominant ALU cost of
+    // this pass) with exactly the value ceil_div would produce: most dims
+    // have extent 1, and grown tiles sit at 1 or at the bound.
+    const long long ext = ctx.par_extent[d];
+    const long long share =
+        ext == 1 ? t2_raw : std::max<long long>(1, ceil_div(t2_raw, ext));
+    if (t1_raw < 1 || t1_raw > share) {
+      fill_illegal(rep, mapping::reason_pe_tile_share(dim));
+      return false;
+    }
+    // Range-checked raw tiles equal their clamped values, so the scalar
+    // evaluator's re-clamp is the identity here.
+    t2l[d] = t2_raw;
+    shrl[d] = static_cast<int>(share);
+    t1l[d] = t1_raw;
+    s.n2[j * kD + d] = static_cast<double>(
+        t2_raw == size ? 1
+        : t2_raw == 1  ? size
+                       : ceil_div(size, t2_raw));
+    s.n1[j * kD + d] = static_cast<double>(
+        t1_raw == share ? 1
+        : t1_raw == 1   ? share
+                        : ceil_div(share, t1_raw));
+  }
+
+  // Tile footprints, once per level (the scalar path derives them twice:
+  // in mapping::check and again in the traffic section). In-range tiles
+  // make tile_footprint's internal clamp a no-op, so the bytes are
+  // identical to both of the scalar computations.
+  const auto footprint = [&](const int* tiles, double* in, double* w,
+                             double* out_fp) {
+    const auto at = [&](nn::Dim d) {
+      return static_cast<long long>(
+          tiles[static_cast<std::size_t>(static_cast<int>(d))]);
+    };
+    const long long tn = at(nn::Dim::kN);
+    const long long tk = at(nn::Dim::kK);
+    const long long tc = at(nn::Dim::kC);
+    const long long typ = at(nn::Dim::kYp);
+    const long long txp = at(nn::Dim::kXp);
+    const long long tr = at(nn::Dim::kR);
+    const long long ts = at(nn::Dim::kS);
+    const long long in_rows =
+        (typ - 1) * std::min<long long>(ctx.stride, tr) + tr;
+    const long long in_cols =
+        (txp - 1) * std::min<long long>(ctx.stride, ts) + ts;
+    const long long in_ch = ctx.depthwise ? tk : tc;
+    const long long fi = tn * in_ch * in_rows * in_cols *
+                         mapping::kBytesPerElement;
+    const long long fw = tk * tc * tr * ts * mapping::kBytesPerElement;
+    const long long fo = tn * tk * typ * txp * mapping::kBytesPerElement;
+    *in = static_cast<double>(fi);
+    *w = static_cast<double>(fw);
+    *out_fp = static_cast<double>(fo);
+    return fi + fw + fo;
+  };
+
+  const long long fp1_total =
+      footprint(t1l, &s.fp1_in[j], &s.fp1_w[j], &s.fp1_out[j]);
+  if (fp1_total > ctx.l1_bytes) {
+    fill_illegal(rep, mapping::reason_l1_overflow(fp1_total, ctx.l1_bytes));
+    return false;
+  }
+  const long long fp2_total =
+      footprint(t2l, &s.fp2_in[j], &s.fp2_w[j], &s.fp2_out[j]);
+  if (fp2_total > ctx.l2_bytes) {
+    fill_illegal(rep, mapping::reason_l2_overflow(fp2_total, ctx.l2_bytes));
+    return false;
+  }
+  s.fp2_tot[j] = static_cast<double>(fp2_total);
+
+  for (std::size_t d = 0; d < kD; ++d) {
+    s.t2[j * kD + d] = t2l[d];
+    s.shr[j * kD + d] = shrl[d];
+    s.t1[j * kD + d] = t1l[d];
+  }
+
+  // Active PEs per axis for a full L2 tile (share 1 ⇒ every PE slice is
+  // one element wide ⇒ used == t2, no division).
+  for (int a = 0; a < ctx.num_axes; ++a) {
+    const std::size_t d = ctx.axes[a].dim_index;
+    s.used[j * static_cast<std::size_t>(arch::kMaxArrayDims) +
+           static_cast<std::size_t>(a)] =
+        static_cast<double>(shrl[d] == 1 ? t2l[d]
+                                         : ceil_div(t2l[d], shrl[d]));
+  }
+  return true;
+}
+
 }  // namespace
+
+void CostModel::evaluate_batch(const LayerContext& ctx,
+                               std::span<const mapping::Mapping> mappings,
+                               std::span<CostReport> reports) const {
+  assert(mappings.size() == reports.size());
+  const std::size_t n = mappings.size();
+  BatchScratch& s = tls_scratch;
+  s.reserve(n);
+
+  // ---- Stage 1: legality + tile geometry (per candidate, short-circuit
+  // order identical to mapping::check; survivors are compacted into live
+  // slots so the later passes touch contiguous memory) -------------------
+  for (std::size_t i = 0; i < n; ++i) {
+    CostReport& rep = reports[i];
+    if (!ctx.arch_valid) {
+      fill_illegal(rep, "invalid accelerator configuration");
+      continue;
+    }
+    if (ctx.degenerate) {
+      fill_illegal(rep, ctx.degenerate_reason);
+      continue;
+    }
+    const std::size_t j = s.live.size();
+    if (stage_geometry(ctx, mappings[i], j, s, rep)) s.live.push_back(i);
+  }
+  const std::size_t m = s.live.size();
+
+  // ---- Stage 2: order-dependent reuse factors (per candidate; data-
+  // dependent loops, but mask-driven and call-free) -----------------------
+  for (std::size_t j = 0; j < m; ++j) {
+    const mapping::Mapping& map = mappings[s.live[j]];
+    const double* n2_row = &s.n2[j * kD];
+    const double* n1_row = &s.n1[j * kD];
+    const int* t1_row = &s.t1[j * kD];
+    const int* t2_row = &s.t2[j * kD];
+    const int* shr_row = &s.shr[j * kD];
+
+    double phases = 1.0;
+    double iters = 1.0;
+    for (std::size_t d = 0; d < kD; ++d) {
+      phases *= n2_row[d];
+      iters *= n1_row[d] * static_cast<double>(t1_row[d]);
+    }
+    s.phases[j] = phases;
+    s.per_pe_iters[j] = iters;
+
+    reload_factors_masked(map.dram.order, n2_row, ctx.input_mask,
+                          ctx.weight_mask, ctx.output_mask, &s.in_f2[j],
+                          &s.w_f2[j], &s.out_f2[j]);
+    s.out_d2[j] = distinct_tiles_masked(n2_row, ctx.output_mask);
+    reload_factors_masked(map.pe.order, n1_row, ctx.input_mask,
+                          ctx.weight_mask, ctx.output_mask, &s.in_f1[j],
+                          &s.w_f1[j], &s.out_f1[j]);
+    s.out_d1[j] = distinct_tiles_masked(n1_row, ctx.output_mask);
+    register_reuse_masked(map.pe_order, t1_row, ctx.input_mask,
+                          ctx.weight_mask, ctx.output_mask, &s.in_rr[j],
+                          &s.w_rr[j], &s.out_rr[j]);
+
+    // Spatial multipliers: unicast axes multiply unique L2 reads, broadcast
+    // axes do not; inputs get the halo-aware multiplier.
+    double in_mult = 1.0, w_mult = 1.0, out_mult = 1.0;
+    double fanout = 1.0;      // total active PEs (delivery energy)
+    double red_extent = 1.0;  // PEs combined by in-network reduction
+    for (int a = 0; a < ctx.num_axes; ++a) {
+      const AxisContext& ax = ctx.axes[a];
+      const double used =
+          s.used[j * static_cast<std::size_t>(arch::kMaxArrayDims) +
+                 static_cast<std::size_t>(a)];
+      fanout *= used;
+      // Broadcast/unicast axes resolve without touching tile data; only
+      // the four halo kinds (spatial/kernel axes) need the full formula.
+      if (ax.input_kind == AxisInputKind::kUsed) {
+        in_mult *= used;
+      } else if (ax.input_kind != AxisInputKind::kOne) {
+        in_mult *= input_multiplier(ctx, ax, t2_row, shr_row, used);
+      }
+      w_mult *= ax.weight_relevant ? used : 1.0;
+      if (ax.output_relevant) {
+        out_mult *= used;
+      } else if (ax.reduction) {
+        red_extent *= used;
+      }
+    }
+    s.in_mult[j] = in_mult;
+    s.w_mult[j] = w_mult;
+    s.out_mult[j] = out_mult;
+    s.red_extent[j] = red_extent;
+    s.fanout[j] = fanout;
+  }
+
+  // ---- Stage 3: traffic / latency / energy (flat branch-free arithmetic
+  // over the generation — the autovectorization target). Each line is the
+  // scalar evaluator's formula verbatim, so per-candidate rounding order
+  // is unchanged. -------------------------------------------------------
+  {
+    const double* __restrict phases = s.phases.data();
+    const double* __restrict iters = s.per_pe_iters.data();
+    const double* __restrict fp2_in = s.fp2_in.data();
+    const double* __restrict fp2_w = s.fp2_w.data();
+    const double* __restrict fp2_out = s.fp2_out.data();
+    const double* __restrict fp2_tot = s.fp2_tot.data();
+    const double* __restrict fp1_in = s.fp1_in.data();
+    const double* __restrict fp1_w = s.fp1_w.data();
+    const double* __restrict fp1_out = s.fp1_out.data();
+    const double* __restrict in_f2 = s.in_f2.data();
+    const double* __restrict w_f2 = s.w_f2.data();
+    const double* __restrict out_f2 = s.out_f2.data();
+    const double* __restrict out_d2 = s.out_d2.data();
+    const double* __restrict in_f1 = s.in_f1.data();
+    const double* __restrict w_f1 = s.w_f1.data();
+    const double* __restrict out_f1 = s.out_f1.data();
+    const double* __restrict out_d1 = s.out_d1.data();
+    const double* __restrict in_rr = s.in_rr.data();
+    const double* __restrict w_rr = s.w_rr.data();
+    const double* __restrict out_rr = s.out_rr.data();
+    const double* __restrict in_mult = s.in_mult.data();
+    const double* __restrict w_mult = s.w_mult.data();
+    const double* __restrict out_mult = s.out_mult.data();
+    const double* __restrict red_extent = s.red_extent.data();
+    const double* __restrict fanout = s.fanout.data();
+    double* __restrict dram_bytes = s.dram_bytes.data();
+    double* __restrict l2_read = s.l2_read.data();
+    double* __restrict l2_write = s.l2_write.data();
+    double* __restrict l1_access = s.l1_access.data();
+    double* __restrict noc_delivery = s.noc_delivery.data();
+    double* __restrict red_hops = s.red_hops.data();
+    double* __restrict compute_cyc = s.compute_cyc.data();
+    double* __restrict noc_cyc = s.noc_cyc.data();
+    double* __restrict dram_cyc = s.dram_cyc.data();
+    double* __restrict latency = s.latency.data();
+    double* __restrict util = s.util.data();
+    double* __restrict e_l1 = s.e_l1.data();
+    double* __restrict e_l2 = s.e_l2.data();
+    double* __restrict e_noc = s.e_noc.data();
+    double* __restrict e_dram = s.e_dram.data();
+    double* __restrict e_total_nj = s.e_total_nj.data();
+    double* __restrict edp = s.edp.data();
+
+    for (std::size_t j = 0; j < m; ++j) {
+      // Level 1: DRAM <-> L2.
+      const double in_dram = in_f2[j] * fp2_in[j];
+      const double w_dram = w_f2[j] * fp2_w[j];
+      const double out_writes_dram = out_f2[j] * fp2_out[j];
+      const double out_reads_dram = (out_f2[j] - out_d2[j]) * fp2_out[j];
+      dram_bytes[j] = in_dram + w_dram + out_writes_dram + out_reads_dram;
+      const double l2_fill_writes = in_dram + w_dram + out_reads_dram;
+      const double l2_drain_reads = out_writes_dram;
+
+      // Level 2: L2 <-> PE array (per phase, per PE, then scaled).
+      const double per_pe_in = in_f1[j] * fp1_in[j];
+      const double per_pe_w = w_f1[j] * fp1_w[j];
+      const double per_pe_out_w = out_f1[j] * fp1_out[j];
+      const double per_pe_out_r = (out_f1[j] - out_d1[j]) * fp1_out[j];
+
+      const double l2_in_reads = phases[j] * per_pe_in * in_mult[j];
+      const double l2_w_reads = phases[j] * per_pe_w * w_mult[j];
+      const double l2_out_writes = phases[j] * per_pe_out_w * out_mult[j];
+      const double l2_out_reads = phases[j] * per_pe_out_r * out_mult[j];
+
+      l2_read[j] = l2_in_reads + l2_w_reads + l2_out_reads + l2_drain_reads;
+      l2_write[j] = l2_out_writes + l2_fill_writes;
+
+      // NoC delivery energy: every active PE receives its operand stream;
+      // psum reduction adds (red_extent - 1) hops per reduced output byte.
+      noc_delivery[j] = phases[j] *
+                        (per_pe_in + per_pe_w + per_pe_out_r + per_pe_out_w) *
+                        fanout[j];
+      red_hops[j] = l2_out_writes * (red_extent[j] - 1.0);
+
+      // Level 3: registers inside the PE.
+      const double l1_in_reads = ctx.macs / in_rr[j];
+      const double l1_w_reads = ctx.macs / w_rr[j];
+      const double l1_out_rw = 2.0 * ctx.macs / out_rr[j];
+      const double l1_fill =
+          phases[j] * (per_pe_in + per_pe_w + per_pe_out_r) * fanout[j];
+      const double l1_drain = phases[j] * per_pe_out_w * fanout[j];
+      l1_access[j] = l1_in_reads + l1_w_reads + l1_out_rw + l1_fill + l1_drain;
+
+      // Latency: padded per-PE iteration space at 1 MAC/cycle vs the two
+      // port occupancies, plus pipeline fill.
+      compute_cyc[j] = phases[j] * iters[j];
+      noc_cyc[j] = (l2_read[j] + l2_write[j]) / ctx.noc_bw;
+      dram_cyc[j] = dram_bytes[j] / ctx.dram_bw;
+      const double fill_cycles = fp2_tot[j] / ctx.dram_bw + ctx.array_depth;
+      latency[j] =
+          std::max({compute_cyc[j], noc_cyc[j], dram_cyc[j]}) + fill_cycles;
+      util[j] = ctx.macs / (ctx.pes * compute_cyc[j]);
+
+      // Energy (per-byte coefficients precomputed in the context).
+      e_l1[j] = l1_access[j] * ctx.l1_access_pj;
+      e_l2[j] = (l2_read[j] + l2_write[j]) * ctx.l2_access_pj;
+      e_noc[j] = (noc_delivery[j] + red_hops[j]) * ctx.noc_hop_pj;
+      e_dram[j] = dram_bytes[j] * ctx.dram_pj_per_byte;
+      e_total_nj[j] =
+          (ctx.mac_energy_pj + e_l1[j] + e_l2[j] + e_noc[j] + e_dram[j]) /
+          1000.0;
+      edp[j] = e_total_nj[j] * latency[j];
+    }
+  }
+
+  // ---- Stage 4: scatter into the report structs ------------------------
+  for (std::size_t j = 0; j < m; ++j) {
+    CostReport& rep = reports[s.live[j]];
+    // compute_cycles >= 1 by construction (every factor is >= 1); keep the
+    // no-NaN invariant guarded locally anyway so a degenerate evaluation
+    // surfaces as an illegal reason, never as NaN utilization.
+    if (!(s.compute_cyc[j] > 0.0)) {
+      fill_illegal(rep, "degenerate evaluation (zero compute cycles)");
+      continue;
+    }
+    rep.legal = true;
+    rep.illegal_reason.clear();  // report slots may be reused across batches
+    rep.macs = ctx.macs;
+    rep.compute_cycles = s.compute_cyc[j];
+    rep.noc_cycles = s.noc_cyc[j];
+    rep.dram_cycles = s.dram_cyc[j];
+    rep.latency_cycles = s.latency[j];
+    rep.energy.mac_pj = ctx.mac_energy_pj;
+    rep.energy.l1_pj = s.e_l1[j];
+    rep.energy.l2_pj = s.e_l2[j];
+    rep.energy.noc_pj = s.e_noc[j];
+    rep.energy.dram_pj = s.e_dram[j];
+    rep.energy_nj = s.e_total_nj[j];
+    rep.edp = s.edp[j];
+    rep.pe_utilization = s.util[j];
+    rep.dram_bytes = s.dram_bytes[j];
+    rep.l2_read_bytes = s.l2_read[j];
+    rep.l2_write_bytes = s.l2_write[j];
+    rep.l1_access_bytes = s.l1_access[j];
+    rep.noc_delivery_bytes = s.noc_delivery[j];
+    rep.reduction_hop_bytes = s.red_hops[j];
+  }
+}
 
 CostReport CostModel::evaluate(const arch::ArchConfig& arch,
                                const nn::ConvLayer& layer,
                                const mapping::Mapping& m) const {
+  // The scalar path is the batch path at size one: same legality sequence,
+  // same arithmetic, same rounding — there is exactly one implementation.
+  const LayerContext ctx(arch, layer, energy_);
   CostReport rep;
-  const auto legality = mapping::check(m, layer, arch);
-  if (!arch.valid()) {
-    rep.illegal_reason = "invalid accelerator configuration";
-    rep.edp = std::numeric_limits<double>::infinity();
-    return rep;
-  }
-  if (!legality.legal) {
-    rep.illegal_reason = legality.reason;
-    rep.edp = std::numeric_limits<double>::infinity();
-    return rep;
-  }
-  rep.legal = true;
-
-  const nn::LayerKind kind = layer.kind;
-
-  // ---- Tile geometry -------------------------------------------------
-  TileSizes t2 = m.dram.tile;   // L2 tile
-  TileSizes t1 = m.pe.tile;     // per-PE (L1) tile
-  TileSizes share{};            // per-PE share of the L2 tile
-  TripCounts n2{};              // DRAM-level trips: ceil(dim / t2)
-  TripCounts n1{};              // per-PE temporal trips: ceil(share / t1)
-  for (nn::Dim d : nn::all_dims()) {
-    const auto i = static_cast<std::size_t>(static_cast<int>(d));
-    t2[i] = std::clamp(t2[i], 1, layer.dim_size(d));
-    share[i] = mapping::pe_share(layer, arch, t2, d);
-    t1[i] = std::clamp(t1[i], 1, share[i]);
-    n2[i] = ceil_div(layer.dim_size(d), t2[i]);
-    n1[i] = ceil_div(share[i], t1[i]);
-  }
-
-  // Active PEs per axis for a full L2 tile.
-  AxisInfo axes[arch::kMaxArrayDims];
-  double active_pes = 1.0;
-  for (int a = 0; a < arch.num_array_dims; ++a) {
-    AxisInfo& ax = axes[a];
-    ax.dim = arch.parallel_dims[static_cast<std::size_t>(a)];
-    ax.size = arch.array_dims[static_cast<std::size_t>(a)];
-    const auto i = static_cast<std::size_t>(static_cast<int>(ax.dim));
-    ax.used = static_cast<int>(ceil_div(t2[i], share[i]));
-    active_pes *= ax.used;
-  }
-
-  const auto fp2 = mapping::tile_footprint(layer, t2);
-  const auto fp1 = mapping::tile_footprint(layer, t1);
-
-  // Total L2-tile phases (every DRAM-level iteration is one phase).
-  double phases = 1.0;
-  for (nn::Dim d : nn::all_dims())
-    phases *= static_cast<double>(trips_of(n2, d));
-
-  // ---- Level 1: DRAM <-> L2 ------------------------------------------
-  const double in_dram =
-      reload_factor(m.dram.order, n2, Tensor::kInput, kind) *
-      static_cast<double>(fp2.input);
-  const double w_dram =
-      reload_factor(m.dram.order, n2, Tensor::kWeight, kind) *
-      static_cast<double>(fp2.weight);
-  const double out_factor2 =
-      reload_factor(m.dram.order, n2, Tensor::kOutput, kind);
-  const double out_distinct2 = distinct_tiles(n2, Tensor::kOutput, kind);
-  const double out_writes_dram =
-      out_factor2 * static_cast<double>(fp2.output);
-  const double out_reads_dram =
-      (out_factor2 - out_distinct2) * static_cast<double>(fp2.output);
-
-  rep.dram_bytes = in_dram + w_dram + out_writes_dram + out_reads_dram;
-  const double l2_fill_writes = in_dram + w_dram + out_reads_dram;
-  const double l2_drain_reads = out_writes_dram;
-
-  // ---- Level 2: L2 <-> PE array (per phase, per PE, then scaled) ------
-  const double per_pe_in =
-      reload_factor(m.pe.order, n1, Tensor::kInput, kind) *
-      static_cast<double>(fp1.input);
-  const double per_pe_w =
-      reload_factor(m.pe.order, n1, Tensor::kWeight, kind) *
-      static_cast<double>(fp1.weight);
-  const double out_factor1 =
-      reload_factor(m.pe.order, n1, Tensor::kOutput, kind);
-  const double out_distinct1 = distinct_tiles(n1, Tensor::kOutput, kind);
-  const double per_pe_out_w = out_factor1 * static_cast<double>(fp1.output);
-  const double per_pe_out_r =
-      (out_factor1 - out_distinct1) * static_cast<double>(fp1.output);
-
-  // Spatial multipliers: unicast axes multiply unique L2 reads, broadcast
-  // axes do not; inputs get the halo-aware multiplier.
-  double in_mult = 1.0, w_mult = 1.0, out_mult = 1.0;
-  double fanout = 1.0;        // total active PEs (delivery energy)
-  double red_extent = 1.0;    // PEs combined by in-network reduction
-  for (int a = 0; a < arch.num_array_dims; ++a) {
-    const AxisInfo& ax = axes[a];
-    fanout *= ax.used;
-    in_mult *= input_axis_multiplier(layer, t2, share, ax);
-    w_mult *= is_relevant(Tensor::kWeight, ax.dim, kind)
-                  ? static_cast<double>(ax.used)
-                  : 1.0;
-    if (is_relevant(Tensor::kOutput, ax.dim, kind)) {
-      out_mult *= static_cast<double>(ax.used);
-    } else if (is_reduction(ax.dim, kind)) {
-      red_extent *= static_cast<double>(ax.used);
-    }
-  }
-
-  const double l2_in_reads = phases * per_pe_in * in_mult;
-  const double l2_w_reads = phases * per_pe_w * w_mult;
-  const double l2_out_writes = phases * per_pe_out_w * out_mult;
-  const double l2_out_reads = phases * per_pe_out_r * out_mult;
-
-  rep.l2_read_bytes = l2_in_reads + l2_w_reads + l2_out_reads + l2_drain_reads;
-  rep.l2_write_bytes = l2_out_writes + l2_fill_writes;
-
-  // NoC delivery energy: every active PE receives its operand stream
-  // (multicast delivers the same word to many PEs); psum reduction adds
-  // (red_extent - 1) hops per reduced output byte.
-  rep.noc_delivery_bytes =
-      phases * (per_pe_in + per_pe_w + per_pe_out_r + per_pe_out_w) * fanout;
-  rep.reduction_hop_bytes = l2_out_writes * (red_extent - 1.0);
-
-  // ---- Level 3: registers inside the PE -------------------------------
-  TripCounts reg_trips{};
-  for (nn::Dim d : nn::all_dims())
-    reg_trips[static_cast<std::size_t>(static_cast<int>(d))] =
-        tile_of(t1, d);
-  rep.macs = static_cast<double>(layer.macs());
-  const double in_rr = register_reuse(m.pe_order, reg_trips, Tensor::kInput, kind);
-  const double w_rr =
-      register_reuse(m.pe_order, reg_trips, Tensor::kWeight, kind);
-  const double out_rr =
-      register_reuse(m.pe_order, reg_trips, Tensor::kOutput, kind);
-  const double l1_in_reads = rep.macs / in_rr;
-  const double l1_w_reads = rep.macs / w_rr;
-  const double l1_out_rw = 2.0 * rep.macs / out_rr;
-  // Data entering L1 from the NoC and psums drained back out.
-  const double l1_fill = phases * (per_pe_in + per_pe_w + per_pe_out_r) * fanout;
-  const double l1_drain = phases * per_pe_out_w * fanout;
-  rep.l1_access_bytes =
-      l1_in_reads + l1_w_reads + l1_out_rw + l1_fill + l1_drain;
-
-  // ---- Latency ---------------------------------------------------------
-  // Each PE runs its padded temporal iteration space at 1 MAC/cycle; ceil
-  // padding and idle axes are the utilization losses that array-shape
-  // search exploits.
-  double per_pe_iters = 1.0;
-  for (nn::Dim d : nn::all_dims()) {
-    const auto i = static_cast<std::size_t>(static_cast<int>(d));
-    per_pe_iters *= static_cast<double>(n1[i]) * static_cast<double>(t1[i]);
-  }
-  rep.compute_cycles = phases * per_pe_iters;
-  rep.noc_cycles = (rep.l2_read_bytes + rep.l2_write_bytes) /
-                   static_cast<double>(arch.noc_bandwidth);
-  rep.dram_cycles = rep.dram_bytes / static_cast<double>(arch.dram_bandwidth);
-  // Pipeline fill: first L2 tile load plus systolic array depth.
-  double array_depth = 0.0;
-  for (int a = 0; a < arch.num_array_dims; ++a)
-    array_depth += axes[a].size;
-  const double fill_cycles =
-      static_cast<double>(fp2.total()) /
-          static_cast<double>(arch.dram_bandwidth) +
-      array_depth;
-  rep.latency_cycles =
-      std::max({rep.compute_cycles, rep.noc_cycles, rep.dram_cycles}) +
-      fill_cycles;
-
-  rep.pe_utilization =
-      rep.macs / (static_cast<double>(arch.num_pes()) * rep.compute_cycles);
-
-  // ---- Energy ----------------------------------------------------------
-  const EnergyModel& em = energy_;
-  rep.energy.mac_pj = rep.macs * em.mac_pj;
-  rep.energy.l1_pj = rep.l1_access_bytes * em.l1_access_pj(arch.l1_bytes);
-  rep.energy.l2_pj = (rep.l2_read_bytes + rep.l2_write_bytes) *
-                     em.l2_access_pj(arch.l2_bytes);
-  rep.energy.noc_pj =
-      (rep.noc_delivery_bytes + rep.reduction_hop_bytes) * em.noc_hop_pj;
-  rep.energy.dram_pj = rep.dram_bytes * em.dram_pj_per_byte;
-  rep.energy_nj = rep.energy.total_pj() / 1000.0;
-  rep.edp = rep.energy_nj * rep.latency_cycles;
+  evaluate_batch(ctx, {&m, 1}, {&rep, 1});
   return rep;
 }
 

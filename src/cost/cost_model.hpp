@@ -1,9 +1,11 @@
 #pragma once
 
+#include <span>
 #include <string>
 
 #include "arch/accelerator.hpp"
 #include "cost/energy_model.hpp"
+#include "cost/layer_context.hpp"
 #include "mapping/mapping.hpp"
 #include "nn/layer.hpp"
 
@@ -48,8 +50,19 @@ struct CostReport {
 };
 
 /// MAESTRO-style analytical cost model (DESIGN.md §2). Deterministic and
-/// allocation-free per call; suitable for millions of evaluations inside
-/// the evolutionary search loops.
+/// allocation-free per call once warm; suitable for millions of
+/// evaluations inside the evolutionary search loops.
+///
+/// Two entry points share one implementation:
+///  - `evaluate` scores a single mapping (internally a batch of one);
+///  - `evaluate_batch` scores a whole generation against a LayerContext of
+///    precomputed per-(arch, layer) invariants, laying the candidates out
+///    struct-of-arrays so the traffic/latency/energy formulas run as tight
+///    vectorizable loops.
+/// Both produce bit-identical reports for the same candidate: the batch
+/// path performs each candidate's double arithmetic in exactly the scalar
+/// evaluation order, so batch size, batch composition, and thread count
+/// never change a result.
 class CostModel {
  public:
   CostModel() = default;
@@ -60,6 +73,24 @@ class CostModel {
   /// should mapping::repair first.
   CostReport evaluate(const arch::ArchConfig& arch, const nn::ConvLayer& layer,
                       const mapping::Mapping& mapping) const;
+
+  /// Precomputes the per-(arch, layer) invariants for `evaluate_batch`
+  /// under this model's energy parameters. Build once per generation (or
+  /// per mapping search) and reuse across batches.
+  LayerContext make_context(const arch::ArchConfig& arch,
+                            const nn::ConvLayer& layer) const {
+    return LayerContext(arch, layer, energy_);
+  }
+
+  /// Evaluates `mappings.size()` candidates against one context, writing
+  /// `reports[i]` for `mappings[i]`. Requires equally sized spans. Illegal
+  /// candidates short-circuit in the legality pass (with the same reasons
+  /// mapping::check reports) and never enter the struct-of-arrays pass.
+  /// Thread-safe: concurrent calls on disjoint report spans are the
+  /// sharding primitive of search_mapping.
+  void evaluate_batch(const LayerContext& ctx,
+                      std::span<const mapping::Mapping> mappings,
+                      std::span<CostReport> reports) const;
 
   const EnergyModel& energy_model() const { return energy_; }
 

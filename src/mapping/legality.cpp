@@ -26,29 +26,43 @@ int pe_share(const nn::ConvLayer& layer, const arch::ArchConfig& arch,
   return std::max(1, ceil_div(t2, arch.parallel_extent(d)));
 }
 
+std::string reason_dram_tile_range(nn::Dim d) {
+  return std::string("dram tile out of range for ") + nn::dim_name(d);
+}
+
+std::string reason_pe_tile_share(nn::Dim d) {
+  return std::string("pe tile exceeds share for ") + nn::dim_name(d);
+}
+
+std::string reason_l1_overflow(long long footprint, long long capacity) {
+  return "per-PE tile overflows L1 (" + std::to_string(footprint) + "B > " +
+         std::to_string(capacity) + "B)";
+}
+
+std::string reason_l2_overflow(long long footprint, long long capacity) {
+  return "L2 tile overflows L2 (" + std::to_string(footprint) + "B > " +
+         std::to_string(capacity) + "B)";
+}
+
 LegalityReport check(const Mapping& m, const nn::ConvLayer& layer,
                      const arch::ArchConfig& arch) {
-  if (!is_valid_order(m.dram.order)) return {false, "dram order not a permutation"};
-  if (!is_valid_order(m.pe.order)) return {false, "pe order not a permutation"};
-  if (!is_valid_order(m.pe_order)) return {false, "register order not a permutation"};
+  if (!is_valid_order(m.dram.order)) return {false, kReasonDramOrder};
+  if (!is_valid_order(m.pe.order)) return {false, kReasonPeOrder};
+  if (!is_valid_order(m.pe_order)) return {false, kReasonRegisterOrder};
   for (nn::Dim d : nn::all_dims()) {
     const int t2 = tile_of(m.dram.tile, d);
     if (t2 < 1 || t2 > layer.dim_size(d))
-      return {false, std::string("dram tile out of range for ") + nn::dim_name(d)};
+      return {false, reason_dram_tile_range(d)};
     const int t1 = tile_of(m.pe.tile, d);
     const int share = pe_share(layer, arch, m.dram.tile, d);
-    if (t1 < 1 || t1 > share)
-      return {false, std::string("pe tile exceeds share for ") + nn::dim_name(d)};
+    if (t1 < 1 || t1 > share) return {false, reason_pe_tile_share(d)};
   }
   const auto l1_fp = tile_footprint(layer, m.pe.tile);
   if (l1_fp.total() > arch.l1_bytes)
-    return {false, "per-PE tile overflows L1 (" +
-                       std::to_string(l1_fp.total()) + "B > " +
-                       std::to_string(arch.l1_bytes) + "B)"};
+    return {false, reason_l1_overflow(l1_fp.total(), arch.l1_bytes)};
   const auto l2_fp = tile_footprint(layer, m.dram.tile);
   if (l2_fp.total() > arch.l2_bytes)
-    return {false, "L2 tile overflows L2 (" + std::to_string(l2_fp.total()) +
-                       "B > " + std::to_string(arch.l2_bytes) + "B)"};
+    return {false, reason_l2_overflow(l2_fp.total(), arch.l2_bytes)};
   return {true, ""};
 }
 

@@ -24,6 +24,21 @@ int pe_share(const nn::ConvLayer& layer, const arch::ArchConfig& arch,
 LegalityReport check(const Mapping& m, const nn::ConvLayer& layer,
                      const arch::ArchConfig& arch);
 
+/// Reason strings shared by `check` and the batched legality pass inside
+/// cost::CostModel::evaluate_batch (which replays the same check sequence
+/// against precomputed per-layer bounds). One formatter per failure mode
+/// keeps the two implementations byte-identical on reported reasons —
+/// tests/test_cost_batch.cpp asserts exactly that.
+inline constexpr const char* kReasonDramOrder =
+    "dram order not a permutation";
+inline constexpr const char* kReasonPeOrder = "pe order not a permutation";
+inline constexpr const char* kReasonRegisterOrder =
+    "register order not a permutation";
+std::string reason_dram_tile_range(nn::Dim d);
+std::string reason_pe_tile_share(nn::Dim d);
+std::string reason_l1_overflow(long long footprint, long long capacity);
+std::string reason_l2_overflow(long long footprint, long long capacity);
+
 /// Order in which dimensions are shrunk when a tile overflows a buffer.
 /// Dimensions earlier in the list are halved first; the list must be a
 /// permutation of all dims.

@@ -193,6 +193,8 @@ CoSearchResult run_cosearch(const cost::CostModel& model,
                          options.cache_readonly);
   result.cost_evaluations = evaluator.cost_evaluations();
   result.mapping_searches = evaluator.mapping_searches();
+  result.generations_batched = evaluator.generations_batched();
+  result.candidates_batch_evaluated = evaluator.candidates_batch_evaluated();
   result.wall_seconds = timer.seconds();
   return result;
 }

@@ -74,6 +74,9 @@ struct CoSearchResult {
   double best_edp = 0;
   long long cost_evaluations = 0;
   long long mapping_searches = 0;
+  /// Batched-cost-model meters (see ArchEvaluator::generations_batched).
+  long long generations_batched = 0;
+  long long candidates_batch_evaluated = 0;
   /// Entries warm-started from CoSearchOptions::cache_path.
   long long store_entries_loaded = 0;
   double wall_seconds = 0;

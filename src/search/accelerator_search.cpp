@@ -83,6 +83,8 @@ const MappingSearchResult& ArchEvaluator::best_mapping(
     // identical to the serial run.
     cost_evaluations_.fetch_add(entry.evaluations);
     mapping_searches_.fetch_add(1);
+    generations_batched_.fetch_add(entry.generations_batched);
+    candidates_batch_evaluated_.fetch_add(entry.candidates_batch_evaluated);
   }
   return entry;
 }
@@ -264,6 +266,8 @@ NaasResult run_naas(const cost::CostModel& model, const NaasOptions& options,
   flush_to_store(evaluator, options.cache_path, options.cache_readonly);
   result.cost_evaluations = evaluator.cost_evaluations();
   result.mapping_searches = evaluator.mapping_searches();
+  result.generations_batched = evaluator.generations_batched();
+  result.candidates_batch_evaluated = evaluator.candidates_batch_evaluated();
   result.wall_seconds = timer.seconds();
   return result;
 }

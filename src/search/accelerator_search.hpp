@@ -62,6 +62,16 @@ class ArchEvaluator {
   long long cost_evaluations() const { return cost_evaluations_.load(); }
   long long mapping_searches() const { return mapping_searches_.load(); }
 
+  /// Batched-cost-model work meters, aggregated over every mapping search
+  /// this evaluator ran (warm-started cache entries contribute nothing,
+  /// like the other meters): CMA generations scored through
+  /// CostModel::evaluate_batch and candidates that flowed through it.
+  /// Thread-count independent, like all evaluator statistics.
+  long long generations_batched() const { return generations_batched_.load(); }
+  long long candidates_batch_evaluated() const {
+    return candidates_batch_evaluated_.load();
+  }
+
   /// Unique (arch, layer, budget) entries memoized so far.
   std::size_t cache_size() const { return cache_.size(); }
 
@@ -107,6 +117,8 @@ class ArchEvaluator {
   EvalCache cache_;
   std::atomic<long long> cost_evaluations_{0};
   std::atomic<long long> mapping_searches_{0};
+  std::atomic<long long> generations_batched_{0};
+  std::atomic<long long> candidates_batch_evaluated_{0};
   std::size_t store_entries_loaded_ = 0;
 };
 
@@ -153,6 +165,9 @@ struct NaasResult {
   std::vector<double> population_best_edp;  ///< per iteration
   long long cost_evaluations = 0;
   long long mapping_searches = 0;
+  /// Batched-cost-model meters (see ArchEvaluator::generations_batched).
+  long long generations_batched = 0;
+  long long candidates_batch_evaluated = 0;
   /// Entries warm-started from NaasOptions::cache_path (0 when disabled,
   /// missing, or rejected).
   long long store_entries_loaded = 0;

@@ -1,7 +1,11 @@
 #include "search/mapping_search.hpp"
 
+#include <algorithm>
+#include <array>
 #include <limits>
+#include <span>
 #include <utility>
+#include <vector>
 
 #include "mapping/canonical.hpp"
 #include "search/cma_es.hpp"
@@ -30,13 +34,22 @@ MappingSearchResult search_mapping(const cost::CostModel& model,
     return rep.legal ? rep.edp : std::numeric_limits<double>::infinity();
   };
 
+  // One context carries every per-(arch, layer) invariant for the whole
+  // search; all candidate scoring below goes through the batched evaluator.
+  const cost::LayerContext ctx = model.make_context(arch, layer);
+
   if (options.seed_canonical) {
+    std::array<mapping::Mapping, 3> seeds;
+    std::array<cost::CostReport, 3> seed_reports;
+    std::size_t k = 0;
     for (arch::Dataflow df : {arch::Dataflow::kWeightStationary,
                               arch::Dataflow::kOutputStationary,
-                              arch::Dataflow::kRowStationary}) {
-      const mapping::Mapping m = mapping::canonical_mapping(arch, layer, df);
-      reduce(m, model.evaluate(arch, layer, m));
-    }
+                              arch::Dataflow::kRowStationary})
+      seeds[k++] = mapping::canonical_mapping(arch, layer, df);
+    model.evaluate_batch(ctx, seeds, seed_reports);
+    result.candidates_batch_evaluated += static_cast<long long>(seeds.size());
+    for (std::size_t i = 0; i < seeds.size(); ++i)
+      reduce(seeds[i], seed_reports[i]);
   }
 
   CmaEsOptions cma_opts;
@@ -48,14 +61,37 @@ MappingSearchResult search_mapping(const cost::CostModel& model,
   for (int iter = 0; iter < options.iterations; ++iter) {
     const auto population = cma.ask();
     const std::size_t n = population.size();
-    // Decode + evaluate fan out onto the pool (both are pure functions of
-    // the genome); the reduction below runs serially by index.
+    // Decode + batch-evaluate the generation. With a pool the batch is cut
+    // into contiguous shards, one per thread; each shard decodes its
+    // genomes and calls evaluate_batch on its slice. Candidates are
+    // independent, so the shard cut cannot change any report; the
+    // reduction below runs serially by index.
     std::vector<mapping::Mapping> mappings(n);
     std::vector<cost::CostReport> reports(n);
-    core::ThreadPool::run(pool, n, [&](std::size_t i) {
-      mappings[i] = options.encoding.decode(population[i], arch, layer);
-      reports[i] = model.evaluate(arch, layer, mappings[i]);
-    });
+    const auto decode_slice = [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i)
+        mappings[i] = options.encoding.decode(population[i], arch, layer);
+      model.evaluate_batch(
+          ctx, std::span<const mapping::Mapping>(mappings).subspan(lo, hi - lo),
+          std::span<cost::CostReport>(reports).subspan(lo, hi - lo));
+    };
+    if (pool == nullptr || pool->serial() || n <= 1) {
+      decode_slice(0, n);
+    } else {
+      const std::size_t threads =
+          std::min<std::size_t>(n, static_cast<std::size_t>(pool->size()));
+      const std::size_t chunk = (n + threads - 1) / threads;
+      // Shard count follows from the rounded-up chunk so the last shard
+      // always starts in range (ceil-rounding chunk alone can leave
+      // threads * chunk >= n + chunk when threads does not divide n).
+      const std::size_t shards = (n + chunk - 1) / chunk;
+      pool->parallel_for(shards, [&](std::size_t shard) {
+        const std::size_t lo = shard * chunk;
+        decode_slice(lo, std::min(n, lo + chunk));
+      });
+    }
+    ++result.generations_batched;
+    result.candidates_batch_evaluated += static_cast<long long>(n);
 
     std::vector<double> fitness;
     fitness.reserve(n);

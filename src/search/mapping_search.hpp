@@ -31,15 +31,26 @@ struct MappingSearchResult {
   cost::CostReport report;     ///< cost of `best`
   double best_edp = 0;
   long long evaluations = 0;   ///< cost-model calls consumed
+  /// Batched-path work meters (not persisted by ResultStore — like
+  /// `evaluations` on preloaded entries, they meter only work this process
+  /// performed): CMA generations evaluated through
+  /// CostModel::evaluate_batch, and candidates that flowed through it
+  /// (including the canonical dataflow seeds).
+  long long generations_batched = 0;
+  long long candidates_batch_evaluated = 0;
 };
 
 /// Searches the mapping space of `layer` on `arch`, returning the best
 /// (lowest-EDP) mapping found. Deterministic for a fixed seed.
 ///
-/// When `pool` is non-null, each CMA-ES generation's genomes are decoded
-/// and cost-evaluated concurrently on the pool; the fitness vector and the
-/// best-so-far reduction are assembled in genome-index order afterwards, so
-/// the result is bit-identical to the serial run for any thread count.
+/// Evaluation is batched: one cost::LayerContext is built per search and
+/// every CMA-ES generation is scored through CostModel::evaluate_batch.
+/// When `pool` is non-null the generation is cut into contiguous shards
+/// (one per pool thread); each shard decodes its genomes and batch-
+/// evaluates its slice. Candidates are independent, so shard boundaries
+/// cannot change results, and the fitness vector and best-so-far reduction
+/// are assembled in genome-index order afterwards — bit-identical to the
+/// serial run for any thread count.
 MappingSearchResult search_mapping(const cost::CostModel& model,
                                    const arch::ArchConfig& arch,
                                    const nn::ConvLayer& layer,

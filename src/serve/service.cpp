@@ -278,6 +278,10 @@ Json EvalService::cache_stats_json() const {
           Json::integer(static_cast<std::int64_t>(evaluator_.cache_size())));
   obj.set("mapping_searches", Json::integer(evaluator_.mapping_searches()));
   obj.set("cost_evaluations", Json::integer(evaluator_.cost_evaluations()));
+  obj.set("generations_batched",
+          Json::integer(evaluator_.generations_batched()));
+  obj.set("candidates_batch_evaluated",
+          Json::integer(evaluator_.candidates_batch_evaluated()));
   obj.set("store_entries_loaded",
           Json::integer(
               static_cast<std::int64_t>(evaluator_.store_entries_loaded())));
