@@ -118,6 +118,17 @@ void report_batch(long long generations, long long candidates) {
                generations, candidates);
 }
 
+/// Async-pipeline work summary (stderr): scheduler tasks plus the
+/// speculative-prefetch outcome. Hits moved real work off the critical
+/// path; wasted entries burned idle time only (they never change results).
+void report_pipeline(long long tasks, long long spec_hits,
+                     long long spec_wasted) {
+  std::fprintf(stderr,
+               "pipeline: %lld graph tasks; speculation: %lld hits, %lld "
+               "wasted\n",
+               tasks, spec_hits, spec_wasted);
+}
+
 int cmd_search(const std::string& net_name, const std::string& env_name,
                int iterations, std::uint64_t seed, const StoreFlags& store) {
   const auto net = nn::make_network(net_name);
@@ -136,6 +147,8 @@ int cmd_search(const std::string& net_name, const std::string& env_name,
   const auto res = search::run_naas(model, opts, {net});
   report_store(store, res.store_entries_loaded, res.mapping_searches);
   report_batch(res.generations_batched, res.candidates_batch_evaluated);
+  report_pipeline(res.tasks_executed, res.speculative_hits,
+                  res.speculative_wasted);
   if (!std::isfinite(res.best_geomean_edp)) {
     std::fprintf(stderr, "search failed to find a valid design\n");
     return 1;
@@ -172,6 +185,8 @@ int cmd_cosearch(const std::string& env_name, double min_accuracy,
   const auto res = nas::run_cosearch(model, opts);
   report_store(store, res.store_entries_loaded, res.mapping_searches);
   report_batch(res.generations_batched, res.candidates_batch_evaluated);
+  report_pipeline(res.tasks_executed, res.speculative_hits,
+                  res.speculative_wasted);
   if (!std::isfinite(res.best_edp)) {
     std::fprintf(stderr,
                  "no accuracy-feasible subnet found; lower the floor\n");

@@ -142,5 +142,11 @@ int main(int argc, char** argv) {
                "(%lld candidates)\n",
                service.evaluator().generations_batched(),
                service.evaluator().candidates_batch_evaluated());
+  std::fprintf(stderr,
+               "serve: pipeline ran %lld graph tasks; speculation: %lld "
+               "hits, %lld wasted\n",
+               service.evaluator().tasks_executed(),
+               service.evaluator().speculative_hits(),
+               service.evaluator().speculative_wasted());
   return 0;
 }

@@ -67,18 +67,6 @@ class ThreadPool {
   /// environment variable when set, else `hardware_concurrency`.
   static int default_num_threads();
 
-  /// Nullable-pool dispatch: fans out on `pool` when one is supplied, else
-  /// runs the loop inline. The shared entry point for call sites whose
-  /// pool is optional.
-  static void run(ThreadPool* pool, std::size_t n,
-                  const std::function<void(std::size_t)>& fn) {
-    if (pool) {
-      pool->parallel_for(n, fn);
-    } else {
-      for (std::size_t i = 0; i < n; ++i) fn(i);
-    }
-  }
-
  private:
   struct Loop;  // shared state of one parallel_for
 

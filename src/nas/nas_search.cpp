@@ -195,6 +195,9 @@ CoSearchResult run_cosearch(const cost::CostModel& model,
   result.mapping_searches = evaluator.mapping_searches();
   result.generations_batched = evaluator.generations_batched();
   result.candidates_batch_evaluated = evaluator.candidates_batch_evaluated();
+  result.tasks_executed = evaluator.tasks_executed();
+  result.speculative_hits = evaluator.speculative_hits();
+  result.speculative_wasted = evaluator.speculative_wasted();
   result.wall_seconds = timer.seconds();
   return result;
 }

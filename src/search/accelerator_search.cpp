@@ -2,15 +2,18 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <limits>
+#include <mutex>
 #include <stdexcept>
-#include <unordered_map>
 #include <utility>
 
+#include "core/rng.hpp"
 #include "core/serialize.hpp"
 #include "core/stats.hpp"
 #include "core/timer.hpp"
 #include "search/cma_es.hpp"
+#include "search/eval_pipeline.hpp"
 
 namespace naas::search {
 namespace {
@@ -33,6 +36,11 @@ std::uint64_t options_fingerprint(const MappingSearchOptions& o) {
   h = hash_mix(h, o.encoding.grow_tiles ? 1 : 0);
   return h;
 }
+
+/// RNG stream domain of the speculative next-generation predictors (one
+/// stream per outer generation, all derived from the search seed, none of
+/// them ever advancing the optimizer's own stream).
+constexpr std::uint64_t kSpeculationStreamBase = 0x53504543ULL;  // "SPEC"
 
 }  // namespace
 
@@ -62,17 +70,88 @@ std::uint64_t ArchEvaluator::cache_key(const arch::ArchConfig& arch,
   return hash_mix(hash_mix(options_fingerprint_, a), l);
 }
 
-const MappingSearchResult& ArchEvaluator::best_mapping(
-    const arch::ArchConfig& arch, const nn::ConvLayer& layer) {
-  const std::uint64_t key = cache_key(arch, layer);
-  if (const MappingSearchResult* hit = cache_.find(key)) return *hit;
+const MappingSearchResult* ArchEvaluator::find_cached(
+    const arch::ArchConfig& arch, const nn::ConvLayer& layer) const {
+  return cache_.find(cache_key(arch, layer));
+}
 
+MappingSearchOptions ArchEvaluator::layer_options(
+    const nn::ConvLayer& layer) const {
   MappingSearchOptions opts = mapping_;
   // Layer-dependent seed keeps runs deterministic while decorrelating
   // searches across layers. Crucially the seed does NOT depend on
-  // evaluation order, so concurrent cache fills are reproducible.
+  // evaluation/request order, so concurrent (and speculative) cache fills
+  // are reproducible.
   opts.seed = mapping_.seed ^ nn::ConvLayerShapeHash{}(layer);
-  MappingSearchResult res = search_mapping(model_, arch, layer, opts, pool_);
+  return opts;
+}
+
+void ArchEvaluator::record_real_publish(const MappingSearchResult& entry) {
+  cost_evaluations_.fetch_add(entry.evaluations);
+  mapping_searches_.fetch_add(1);
+  generations_batched_.fetch_add(entry.generations_batched);
+  candidates_batch_evaluated_.fetch_add(entry.candidates_batch_evaluated);
+}
+
+void ArchEvaluator::record_speculative_publish(std::uint64_t key) {
+  std::lock_guard<std::mutex> lk(speculative_mutex_);
+  speculative_unclaimed_.insert(key);
+}
+
+void ArchEvaluator::claim_speculative(std::uint64_t key) {
+  {
+    std::lock_guard<std::mutex> lk(speculative_mutex_);
+    if (speculative_unclaimed_.erase(key) == 0) return;
+  }
+  speculative_hits_.fetch_add(1);
+  // Transfer the entry's meters into the real counters: this is the moment
+  // the barrier engine would have paid for the search, so the real meters
+  // end up identical with speculation on or off.
+  if (const MappingSearchResult* entry = cache_.find(key))
+    record_real_publish(*entry);
+}
+
+void ArchEvaluator::absorb_scheduler_stats(
+    const core::TaskGraph::Stats& delta) {
+  std::lock_guard<std::mutex> lk(sched_mutex_);
+  sched_stats_.tasks_executed += delta.tasks_executed;
+  sched_stats_.tasks_skipped += delta.tasks_skipped;
+  sched_stats_.busy_seconds += delta.busy_seconds;
+  sched_stats_.wall_seconds += delta.wall_seconds;
+  sched_stats_.workers = std::max(sched_stats_.workers, delta.workers);
+}
+
+long long ArchEvaluator::tasks_executed() const {
+  std::lock_guard<std::mutex> lk(sched_mutex_);
+  return sched_stats_.tasks_executed;
+}
+
+long long ArchEvaluator::speculative_wasted() const {
+  std::lock_guard<std::mutex> lk(speculative_mutex_);
+  return static_cast<long long>(speculative_unclaimed_.size());
+}
+
+core::TaskGraph::Stats ArchEvaluator::scheduler_stats() const {
+  std::lock_guard<std::mutex> lk(sched_mutex_);
+  return sched_stats_;
+}
+
+const MappingSearchResult& ArchEvaluator::best_mapping(
+    const arch::ArchConfig& arch, const nn::ConvLayer& layer) {
+  const std::uint64_t key = cache_key(arch, layer);
+  if (const MappingSearchResult* hit = cache_.find(key)) {
+    // A speculatively prefetched entry becomes real work the first time a
+    // real caller touches it.
+    claim_speculative(key);
+    return *hit;
+  }
+
+  core::TaskGraph graph(pool_);
+  MappingSearchResult res;
+  submit_mapping_search(graph, model_, arch, layer, layer_options(layer),
+                        &res);
+  graph.run();
+  absorb_scheduler_stats(graph.stats());
 
   bool inserted = false;
   const MappingSearchResult& entry = cache_.publish(key, std::move(res),
@@ -81,43 +160,63 @@ const MappingSearchResult& ArchEvaluator::best_mapping(
     // Count only the published search: if another thread computed the same
     // key concurrently, one duplicate is discarded and the statistics stay
     // identical to the serial run.
-    cost_evaluations_.fetch_add(entry.evaluations);
-    mapping_searches_.fetch_add(1);
-    generations_batched_.fetch_add(entry.generations_batched);
-    candidates_batch_evaluated_.fetch_add(entry.candidates_batch_evaluated);
+    record_real_publish(entry);
   }
   return entry;
 }
 
-cost::NetworkCost ArchEvaluator::evaluate(const arch::ArchConfig& arch,
-                                          const nn::Network& net) {
-  // Assemble from the memoized mapping-search reports directly: no
+cost::NetworkCost ArchEvaluator::assemble_network(const arch::ArchConfig& arch,
+                                                  const nn::Network& net) {
+  // Pure assembly from the memoized mapping-search reports: no
   // re-evaluation of the cost model per unique layer (the search already
   // kept the winning candidate's full report).
   return cost::evaluate_network_reports(
       arch, net,
       [this](const arch::ArchConfig& a, const nn::ConvLayer& l) {
-        const MappingSearchResult& r = best_mapping(a, l);
-        if (!std::isfinite(r.best_edp)) {
+        const MappingSearchResult* r = find_cached(a, l);
+        if (r == nullptr) r = &best_mapping(a, l);  // unreachable when piped
+        if (!std::isfinite(r->best_edp)) {
           cost::CostReport rep;
           rep.legal = false;
           rep.illegal_reason = "mapping search found no legal mapping";
           return rep;
         }
-        return r.report;
+        return r->report;
       });
 }
 
-double ArchEvaluator::geomean_edp(const arch::ArchConfig& arch,
-                                  const std::vector<nn::Network>& benchmarks) {
+double ArchEvaluator::assembled_geomean(
+    const arch::ArchConfig& arch, const std::vector<nn::Network>& benchmarks) {
   std::vector<double> edps;
   edps.reserve(benchmarks.size());
   for (const auto& net : benchmarks) {
-    const auto nc = evaluate(arch, net);
+    const auto nc = assemble_network(arch, net);
     if (!nc.legal) return std::numeric_limits<double>::infinity();
     edps.push_back(nc.edp);
   }
   return core::geomean(edps);
+}
+
+cost::NetworkCost ArchEvaluator::evaluate(const arch::ArchConfig& arch,
+                                          const nn::Network& net) {
+  {
+    // Fill phase: one chain per unique layer shape not yet resident, all
+    // interleaving on one graph. Skipped entirely on a fully warm cache.
+    EvalPipeline pipeline(*this);
+    std::vector<core::TaskGraph::TaskId> deps;
+    pipeline.request_network(arch, net, /*speculative=*/false, &deps);
+    if (!deps.empty()) pipeline.run();
+  }
+  return assemble_network(arch, net);
+}
+
+double ArchEvaluator::geomean_edp(const arch::ArchConfig& arch,
+                                  const std::vector<nn::Network>& benchmarks) {
+  // The one-candidate case of evaluate_population: every benchmark's layer
+  // chains fill on one graph (no per-network quiesce barrier).
+  return evaluate_population(std::span<const arch::ArchConfig>(&arch, 1),
+                             benchmarks)
+      .front();
 }
 
 std::vector<double> ArchEvaluator::evaluate_population(
@@ -125,9 +224,22 @@ std::vector<double> ArchEvaluator::evaluate_population(
     const std::vector<nn::Network>& benchmarks) {
   std::vector<double> edps(archs.size(),
                            std::numeric_limits<double>::infinity());
-  core::ThreadPool::run(pool_, archs.size(), [&](std::size_t i) {
-    edps[i] = geomean_edp(archs[i], benchmarks);
-  });
+  if (archs.empty()) return edps;
+  // One graph: every candidate's unique (arch, layer) chains — deduplicated
+  // across the whole population — plus a per-candidate assembly task that
+  // becomes ready the moment exactly its own layers are resident. A slow
+  // layer of candidate 3 no longer stalls the scoring of candidate 7.
+  EvalPipeline pipeline(*this);
+  for (std::size_t i = 0; i < archs.size(); ++i) {
+    const auto deps =
+        pipeline.request_benchmarks(archs[i], benchmarks, /*speculative=*/false);
+    pipeline.graph().submit(
+        [this, archs, &benchmarks, &edps, i] {
+          edps[i] = assembled_geomean(archs[i], benchmarks);
+        },
+        deps);
+  }
+  pipeline.run();
   return edps;
 }
 
@@ -172,9 +284,158 @@ NaasResult run_naas(const cost::CostModel& model, const NaasOptions& options,
     return hw.valid(genome);
   };
 
+  // The whole evolution — seed scoring, every generation, and the
+  // speculative prefetch — lives on ONE task graph. Candidates report
+  // fitness through CmaEs::tell_partial as they finish; the report that
+  // completes a generation schedules the next one from inside its own
+  // task, so there is no join anywhere between the start of the search
+  // and quiescence.
+  EvalPipeline pipeline(evaluator);
+  core::TaskGraph& graph = pipeline.graph();
+  const core::TaskGraph::TaskId evolution_done = graph.make_promise();
+
+  /// Cross-task state of the outer evolution. `mutex` serializes fitness
+  /// reporting (tell_partial) and the generation bookkeeping; per-slot
+  /// writes are distinct, so the lock guards the optimizer, not the data.
+  struct Outer {
+    std::mutex mutex;
+    std::vector<arch::ArchConfig> configs;  ///< current generation decodes
+    std::vector<double> edps;               ///< per-genome fitness slots
+    int iter = 0;
+  } outer;
+
+  // Requests every unique (candidate, layer) chain the candidate needs;
+  // the returned ids gate the candidate's assembly task.
+  const auto request_layers = [&](const arch::ArchConfig& cfg,
+                                  bool speculative) {
+    return pipeline.request_benchmarks(cfg, benchmarks, speculative);
+  };
+
+  // Speculative prefetch (ROADMAP's async item): while the just-submitted
+  // generation drains, pre-evaluate likely members of the *next* one —
+  // mean-centered resamples from the current CMA distribution, drawn from
+  // a per-generation stream so the optimizer's own stream never moves.
+  // Requests go in at idle priority under the standard cache keys:
+  // speculation can only produce future hits, never different results.
+  //
+  // Self-limiting: predictions hit only when the encoding's decode buckets
+  // are coarse relative to the current distribution (exact-config
+  // collisions). After kSpeculationProbeRounds fully-missed rounds the
+  // planner stops paying for prefetch that this encoding/budget cannot
+  // cash; any hit keeps it alive. The gate reads only deterministic
+  // meters, so the planned request set — and with it every meter — stays
+  // identical for every thread count.
+  constexpr int kSpeculationProbeRounds = 3;
+  int speculation_rounds = 0;
+  const auto plan_speculation = [&](int upcoming_generation) {
+    if (!options.speculate) return;
+    if (speculation_rounds >= kSpeculationProbeRounds &&
+        evaluator.speculative_hits() == 0) {
+      return;
+    }
+    ++speculation_rounds;
+    core::Rng rng = core::rng_stream(
+        options.seed,
+        kSpeculationStreamBase +
+            static_cast<std::uint64_t>(upcoming_generation));
+    for (int k = 0; k < options.population; ++k) {
+      // Spread the predictions from the distribution mode outward: the
+      // clamped mean is the single likeliest decode, half-sigma draws
+      // cover the high-density core, full-sigma draws the tails. Discrete
+      // decode buckets make mode-adjacent predictions the ones that
+      // actually collide with real next-generation candidates.
+      const double shrink =
+          k == 0 ? 0.0 : (2 * k <= options.population ? 0.5 : 1.0);
+      const std::vector<double> genome = cma.sample_speculative(rng, shrink);
+      if (!hw.valid(genome)) continue;
+      const arch::ArchConfig cfg = hw.decode(genome);
+      if (!options.resources.allows(cfg)) continue;
+      request_layers(cfg, /*speculative=*/true);
+    }
+  };
+
+  std::function<void()> start_generation;  // assigned below; tasks recurse
+
+  // Runs under outer.mutex, from the tell_partial call that filled the
+  // generation's last slot: fold the generation into the running best (in
+  // genome order, matching the barrier engine's tie-breaking exactly),
+  // record the convergence statistics, and schedule the next generation.
+  const auto generation_complete = [&] {
+    std::vector<double> finite_edps;
+    for (std::size_t k = 0; k < outer.edps.size(); ++k) {
+      const double edp = outer.edps[k];
+      if (std::isfinite(edp)) {
+        finite_edps.push_back(edp);
+        if (edp < result.best_geomean_edp) {
+          result.best_geomean_edp = edp;
+          result.best_arch = outer.configs[k];
+        }
+      }
+    }
+    result.population_mean_edp.push_back(core::mean(finite_edps));
+    result.population_best_edp.push_back(
+        finite_edps.empty()
+            ? std::numeric_limits<double>::infinity()
+            : *std::min_element(finite_edps.begin(), finite_edps.end()));
+    ++outer.iter;
+    if (outer.iter < options.iterations) {
+      start_generation();
+    } else {
+      graph.fulfill(evolution_done);
+    }
+  };
+
+  // Fitness report for genome `k`; the completing report runs the
+  // generation bookkeeping inline (continuation style, no join).
+  const auto report_locked = [&](std::size_t k, double edp) {
+    outer.edps[k] = edp;
+    if (cma.tell_partial(k, edp)) generation_complete();
+  };
+  const auto report = [&](std::size_t k, double edp) {
+    std::lock_guard<std::mutex> lk(outer.mutex);
+    report_locked(k, edp);
+  };
+
+  // Samples a generation, submits one assembly task per resource-feasible
+  // genome (gated on exactly its layer chains), plans speculation for the
+  // generation after, and reports infeasible genomes immediately. Called
+  // with outer.mutex held.
+  start_generation = [&] {
+    const auto& population = cma.begin_generation(is_valid);
+    const std::size_t lambda = population.size();
+    outer.configs.assign(lambda, arch::ArchConfig{});
+    outer.edps.assign(lambda, std::numeric_limits<double>::infinity());
+    std::vector<std::size_t> infeasible;
+    for (std::size_t k = 0; k < lambda; ++k) {
+      outer.configs[k] = hw.decode(population[k]);
+      if (!options.resources.allows(outer.configs[k])) {
+        infeasible.push_back(k);
+        continue;
+      }
+      const auto deps = request_layers(outer.configs[k], false);
+      graph.submit(
+          [&outer, &evaluator, &benchmarks, &report, k] {
+            // Pure assembly: this task is gated on exactly its layer
+            // chains, so every key is resident — no pipeline needed.
+            report(k,
+                   evaluator.assembled_geomean(outer.configs[k], benchmarks));
+          },
+          deps);
+    }
+    plan_speculation(outer.iter + 1);
+    // Infeasible genomes cost nothing to score; reporting them last keeps
+    // a fully-infeasible generation correct (the final report completes
+    // the generation and recurses into the next one right here).
+    for (const std::size_t k : infeasible)
+      report_locked(k, std::numeric_limits<double>::infinity());
+  };
+
   // Warm start: evaluate the seed designs (reference baseline + any user
   // seeds) so the returned best is never worse than the known design run
-  // with NAAS's mapping search.
+  // with NAAS's mapping search. The seeds score as ordinary tasks on the
+  // same graph; their completion starts generation 0, and generation 0's
+  // predicted candidates prefetch while the seeds drain.
+  std::vector<arch::ArchConfig> eligible;
   {
     std::vector<arch::ArchConfig> seeds = options.seed_designs;
     if (options.seed_baseline) {
@@ -184,7 +445,6 @@ NaasResult run_naas(const cost::CostModel& model, const NaasOptions& options,
         // Custom envelope without a published baseline: nothing to seed.
       }
     }
-    std::vector<arch::ArchConfig> eligible;
     for (auto& seed : seeds) {
       if (!options.search_connectivity &&
           !(seed.num_array_dims == 2 &&
@@ -195,68 +455,38 @@ NaasResult run_naas(const cost::CostModel& model, const NaasOptions& options,
       if (!options.resources.allows(seed)) continue;
       eligible.push_back(std::move(seed));
     }
-    const std::vector<double> edps =
-        evaluator.evaluate_population(eligible, benchmarks);
-    for (std::size_t i = 0; i < eligible.size(); ++i) {
-      if (std::isfinite(edps[i]) && edps[i] < result.best_geomean_edp) {
-        result.best_geomean_edp = edps[i];
-        result.best_arch = eligible[i];
-      }
-    }
   }
-
-  for (int iter = 0; iter < options.iterations; ++iter) {
-    const auto population = cma.ask(is_valid);
-
-    // Decode serially (cheap, keeps the CMA stream untouched), fan the
-    // expensive scoring out over the pool, then reduce by genome index so
-    // best-so-far tie-breaking matches the serial loop exactly. Genomes
-    // that decode to the same config (the discrete arch space is small)
-    // share one evaluation slot: concurrent duplicates would each pay a
-    // full mapping search before the cache could dedup them.
-    std::vector<arch::ArchConfig> configs;
-    configs.reserve(population.size());
-    std::vector<std::size_t> eval_index;  // genome -> slot in `to_eval`
-    std::vector<arch::ArchConfig> to_eval;
-    std::unordered_map<std::uint64_t, std::size_t> slot_by_fingerprint;
-    for (const auto& genome : population) {
-      configs.push_back(hw.decode(genome));
-      if (options.resources.allows(configs.back())) {
-        const std::uint64_t fp = arch_fingerprint(configs.back());
-        const auto [it, fresh] =
-            slot_by_fingerprint.emplace(fp, to_eval.size());
-        if (fresh) to_eval.push_back(configs.back());
-        eval_index.push_back(it->second);
-      } else {
-        eval_index.push_back(static_cast<std::size_t>(-1));
-      }
-    }
-    const std::vector<double> eval_edps =
-        evaluator.evaluate_population(to_eval, benchmarks);
-
-    std::vector<double> fitness;
-    std::vector<double> finite_edps;
-    fitness.reserve(population.size());
-    for (std::size_t k = 0; k < population.size(); ++k) {
-      const double edp = eval_index[k] == static_cast<std::size_t>(-1)
-                             ? std::numeric_limits<double>::infinity()
-                             : eval_edps[eval_index[k]];
-      fitness.push_back(edp);
-      if (std::isfinite(edp)) {
-        finite_edps.push_back(edp);
-        if (edp < result.best_geomean_edp) {
-          result.best_geomean_edp = edp;
-          result.best_arch = configs[k];
+  std::vector<double> seed_edps(eligible.size(),
+                                std::numeric_limits<double>::infinity());
+  std::vector<core::TaskGraph::TaskId> seed_tasks;
+  for (std::size_t i = 0; i < eligible.size(); ++i) {
+    const auto deps = request_layers(eligible[i], false);
+    seed_tasks.push_back(graph.submit(
+        [&evaluator, &eligible, &benchmarks, &seed_edps, i] {
+          seed_edps[i] = evaluator.assembled_geomean(eligible[i], benchmarks);
+        },
+        deps));
+  }
+  graph.submit(
+      [&] {
+        std::lock_guard<std::mutex> lk(outer.mutex);
+        for (std::size_t i = 0; i < eligible.size(); ++i) {
+          if (std::isfinite(seed_edps[i]) &&
+              seed_edps[i] < result.best_geomean_edp) {
+            result.best_geomean_edp = seed_edps[i];
+            result.best_arch = eligible[i];
+          }
         }
-      }
-    }
-    cma.tell(population, fitness);
-    result.population_mean_edp.push_back(core::mean(finite_edps));
-    result.population_best_edp.push_back(
-        finite_edps.empty()
-            ? std::numeric_limits<double>::infinity()
-            : *std::min_element(finite_edps.begin(), finite_edps.end()));
-  }
+        if (options.iterations > 0) {
+          start_generation();
+        } else {
+          graph.fulfill(evolution_done);
+        }
+      },
+      seed_tasks);
+  plan_speculation(0);
+
+  pipeline.run();  // drives the whole evolution; folds scheduler meters
 
   if (std::isfinite(result.best_geomean_edp)) {
     for (const auto& net : benchmarks)
@@ -268,6 +498,9 @@ NaasResult run_naas(const cost::CostModel& model, const NaasOptions& options,
   result.mapping_searches = evaluator.mapping_searches();
   result.generations_batched = evaluator.generations_batched();
   result.candidates_batch_evaluated = evaluator.candidates_batch_evaluated();
+  result.tasks_executed = evaluator.tasks_executed();
+  result.speculative_hits = evaluator.speculative_hits();
+  result.speculative_wasted = evaluator.speculative_wasted();
   result.wall_seconds = timer.seconds();
   return result;
 }

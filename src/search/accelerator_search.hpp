@@ -1,11 +1,14 @@
 #pragma once
 
 #include <atomic>
+#include <mutex>
 #include <span>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "arch/resources.hpp"
+#include "core/task_graph.hpp"
 #include "core/thread_pool.hpp"
 #include "cost/network_cost.hpp"
 #include "nn/network.hpp"
@@ -15,17 +18,25 @@
 
 namespace naas::search {
 
+class EvalPipeline;
+
 /// Evaluates accelerator candidates on benchmark networks, running the
 /// inner per-layer mapping search and memoizing results by
 /// (arch fingerprint, layer shape, mapping-search budget). The cache is
 /// what makes the two-level loop affordable: repeated blocks, repeated
 /// candidates, and baseline re-evaluations all hit it.
 ///
+/// Evaluation runs on the asynchronous task-graph pipeline (EvalPipeline +
+/// core::TaskGraph): every (arch, layer) work unit becomes a chain of
+/// continuation-scheduled CMA-generation task batches, deduplicated by
+/// cache key, and all chains across all candidates and networks interleave
+/// on one graph — no per-candidate, per-layer, or per-generation joins.
+/// Results, cache contents, and every meter are bit-identical for any
+/// thread count (and to the old barrier engine).
+///
 /// Thread safety: all evaluation entry points may be called concurrently
-/// (the cache is mutex-striped and the statistics are atomic). When
-/// constructed with a ThreadPool, `evaluate_population` fans candidates
-/// out across it and the inner mapping searches fan their CMA generations
-/// out onto the same pool; results are identical for any thread count.
+/// (the cache is mutex-striped and the statistics are atomic), though the
+/// intended shape is one pipeline at a time fanning out internally.
 class ArchEvaluator {
  public:
   /// `pool` (optional, not owned) supplies the worker threads; nullptr or a
@@ -47,10 +58,12 @@ class ArchEvaluator {
   double geomean_edp(const arch::ArchConfig& arch,
                      const std::vector<nn::Network>& benchmarks);
 
-  /// Batched population scoring: geomean EDP for every candidate, computed
-  /// concurrently on the pool and returned by candidate index. This is the
-  /// outer-loop fan-out used by run_naas — results (including all cache
-  /// contents and statistics) match evaluating the candidates one by one.
+  /// Batched population scoring: geomean EDP for every candidate, returned
+  /// by candidate index. One task graph carries every candidate's unique
+  /// (arch, layer) chain plus a per-candidate assembly task, so slow
+  /// layers of one candidate overlap everything else — results (including
+  /// all cache contents and statistics) match evaluating the candidates
+  /// one by one.
   std::vector<double> evaluate_population(
       std::span<const arch::ArchConfig> archs,
       const std::vector<nn::Network>& benchmarks);
@@ -58,6 +71,19 @@ class ArchEvaluator {
   /// Best searched mapping for one layer (cached).
   const MappingSearchResult& best_mapping(const arch::ArchConfig& arch,
                                           const nn::ConvLayer& layer);
+
+  /// Pure assembly of a network cost from resident cache entries — zero
+  /// new evaluations and no pipeline construction. This is the
+  /// assembly-phase API the per-candidate graph tasks use once their
+  /// layer chains have published; a missing key (unreachable when the
+  /// caller gated on its chains) falls back to a synchronous search.
+  cost::NetworkCost assemble_network(const arch::ArchConfig& arch,
+                                     const nn::Network& net);
+
+  /// Geomean over `benchmarks` by pure assembly (same residency contract
+  /// as assemble_network). Bit-identical to geomean_edp on a warm cache.
+  double assembled_geomean(const arch::ArchConfig& arch,
+                           const std::vector<nn::Network>& benchmarks);
 
   long long cost_evaluations() const { return cost_evaluations_.load(); }
   long long mapping_searches() const { return mapping_searches_.load(); }
@@ -71,6 +97,25 @@ class ArchEvaluator {
   long long candidates_batch_evaluated() const {
     return candidates_batch_evaluated_.load();
   }
+
+  /// Scheduler work meters. tasks_executed counts every task-graph task run
+  /// under this evaluator (chain setups, generation shards, continuations,
+  /// publishes, candidate finalizes — including speculative chains);
+  /// deterministic for any thread count, since a chain's task breakdown
+  /// depends only on its budget. speculative_hits counts speculatively
+  /// evaluated cache keys that real work later needed (their entry meters
+  /// transfer to the real counters at that moment, which is what keeps
+  /// cost_evaluations/mapping_searches identical to a speculation-free
+  /// run); speculative_wasted is the live count of speculative entries no
+  /// real request has touched yet.
+  long long tasks_executed() const;
+  long long speculative_hits() const { return speculative_hits_.load(); }
+  long long speculative_wasted() const;
+
+  /// Aggregated TaskGraph accounting across every pipeline this evaluator
+  /// ran (busy/wall seconds feed the pool-idle-fraction measurement in
+  /// bench_async_pipeline).
+  core::TaskGraph::Stats scheduler_stats() const;
 
   /// Unique (arch, layer, budget) entries memoized so far.
   std::size_t cache_size() const { return cache_.size(); }
@@ -99,16 +144,49 @@ class ArchEvaluator {
   std::uint64_t cache_sequence() const { return cache_.sequence(); }
 
   /// Entries added after the `since` mark, sorted by key (ready for
-  /// ResultStore::append). Call when evaluation is quiescent.
-  StoreEntries snapshot_since(std::uint64_t since) const {
-    return cache_.snapshot_since(since);
+  /// ResultStore::append). A linearizable cut: `*high_mark` (optional)
+  /// receives the sequence the scan is consistent with — pass it back as
+  /// the next `since` to stream incrementally without duplicates or
+  /// holes, even while publishes race (see EvalCache::snapshot_since).
+  StoreEntries snapshot_since(std::uint64_t since,
+                              std::uint64_t* high_mark = nullptr) const {
+    return cache_.snapshot_since(since, high_mark);
   }
 
   core::ThreadPool* pool() const { return pool_; }
 
  private:
+  friend class EvalPipeline;
+
   std::uint64_t cache_key(const arch::ArchConfig& arch,
                           const nn::ConvLayer& layer) const;
+
+  /// Cached entry for (arch, layer), or nullptr.
+  const MappingSearchResult* find_cached(const arch::ArchConfig& arch,
+                                         const nn::ConvLayer& layer) const;
+
+  /// The mapping-search options actually used for `layer`: the evaluator's
+  /// budget with a layer-dependent seed (decorrelates searches across
+  /// layers while staying independent of evaluation order). The single
+  /// source of truth for every search path — best_mapping and the
+  /// pipeline's chains must seed identically or cache contents would
+  /// depend on which path filled an entry.
+  MappingSearchOptions layer_options(const nn::ConvLayer& layer) const;
+
+  // --- EvalPipeline accounting hooks -----------------------------------
+  /// Counts a freshly published real search into the work meters.
+  void record_real_publish(const MappingSearchResult& entry);
+  /// Marks `key` as speculatively computed but not yet needed.
+  void record_speculative_publish(std::uint64_t key);
+  /// Real work touched `key`: if it was an unclaimed speculative entry,
+  /// transfer its meters to the real counters and record the hit. Safe to
+  /// call for any key (no-op for real/claimed/preloaded entries).
+  void claim_speculative(std::uint64_t key);
+  /// Records a speculative hit whose meters the pending publish will count
+  /// as real directly (promotion before publication).
+  void note_speculative_hit() { speculative_hits_.fetch_add(1); }
+  /// Folds one pipeline run's scheduler stats into the aggregate.
+  void absorb_scheduler_stats(const core::TaskGraph::Stats& delta);
 
   const cost::CostModel& model_;
   MappingSearchOptions mapping_;
@@ -119,6 +197,12 @@ class ArchEvaluator {
   std::atomic<long long> mapping_searches_{0};
   std::atomic<long long> generations_batched_{0};
   std::atomic<long long> candidates_batch_evaluated_{0};
+  std::atomic<long long> speculative_hits_{0};
+  /// Speculatively computed cache keys no real request has claimed yet.
+  mutable std::mutex speculative_mutex_;
+  std::unordered_set<std::uint64_t> speculative_unclaimed_;
+  mutable std::mutex sched_mutex_;
+  core::TaskGraph::Stats sched_stats_;
   std::size_t store_entries_loaded_ = 0;
 };
 
@@ -154,6 +238,16 @@ struct NaasOptions {
   std::string cache_path;
   /// Load the store but never write it back (shared/read-only caches).
   bool cache_readonly = false;
+  /// Speculative evaluation: while a generation's stragglers drain, sample
+  /// likely next-generation candidates (mean-centered resample from the
+  /// current CMA distribution through a dedicated RNG stream — the
+  /// optimizer's own stream is untouched) and pre-run their mapping
+  /// searches at idle priority into the EvalCache under the standard keys.
+  /// Speculation can only turn future misses into hits: every visible
+  /// output — results, reports, and all real work meters — is bit-identical
+  /// with speculation on or off, at any thread count. Costs wasted
+  /// idle-time work when predictions miss (metered as speculative_wasted).
+  bool speculate = true;
 };
 
 /// Outcome of a NAAS accelerator+mapping co-search.
@@ -168,6 +262,11 @@ struct NaasResult {
   /// Batched-cost-model meters (see ArchEvaluator::generations_batched).
   long long generations_batched = 0;
   long long candidates_batch_evaluated = 0;
+  /// Scheduler work meters (see ArchEvaluator::tasks_executed /
+  /// speculative_hits / speculative_wasted).
+  long long tasks_executed = 0;
+  long long speculative_hits = 0;
+  long long speculative_wasted = 0;
   /// Entries warm-started from NaasOptions::cache_path (0 when disabled,
   /// missing, or rejected).
   long long store_entries_loaded = 0;
@@ -189,9 +288,16 @@ void flush_to_store(const ArchEvaluator& evaluator, const std::string& path,
 /// Runs the NAAS outer evolution loop (Fig. 1): sample accelerator
 /// candidates within the resource envelope, score each by geomean EDP over
 /// `benchmarks` (with the inner mapping search per layer), update the CMA
-/// distribution, and return the fittest design. Candidate scoring fans out
-/// over `options.num_threads` threads; the returned result is bit-identical
-/// to the serial (num_threads = 1) run.
+/// distribution, and return the fittest design.
+///
+/// The whole evolution runs as ONE task graph: every candidate's layer
+/// chains interleave freely, each candidate reports its fitness through
+/// CmaEs::tell_partial as it finishes, and the report that completes a
+/// generation *schedules* the next one (no join anywhere). While a
+/// generation's stragglers drain, likely next-generation candidates are
+/// speculatively pre-evaluated into the cache at idle priority (see
+/// NaasOptions::speculate). The returned result is bit-identical for any
+/// `options.num_threads` and for speculation on/off.
 NaasResult run_naas(const cost::CostModel& model, const NaasOptions& options,
                     const std::vector<nn::Network>& benchmarks);
 

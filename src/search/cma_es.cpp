@@ -47,15 +47,22 @@ CmaEs::CmaEs(const CmaEsOptions& options)
   chi_n_ = std::sqrt(n) * (1.0 - 1.0 / (4.0 * n) + 1.0 / (21.0 * n * n));
 }
 
-std::vector<double> CmaEs::sample_one() {
-  const std::vector<double> z = rng_.normal_vector(dim_);
+std::vector<double> CmaEs::sample_from(core::Rng& rng, double sigma) const {
+  const std::vector<double> z = rng.normal_vector(dim_);
   std::vector<double> y = chol_.matvec(z);
   std::vector<double> x(static_cast<std::size_t>(dim_));
   for (int i = 0; i < dim_; ++i) {
     const auto s = static_cast<std::size_t>(i);
-    x[s] = std::clamp(mean_[s] + sigma_ * y[s], 0.0, 1.0);
+    x[s] = std::clamp(mean_[s] + sigma * y[s], 0.0, 1.0);
   }
   return x;
+}
+
+std::vector<double> CmaEs::sample_one() { return sample_from(rng_, sigma_); }
+
+std::vector<double> CmaEs::sample_speculative(core::Rng& rng,
+                                              double shrink) const {
+  return sample_from(rng, shrink * sigma_);
 }
 
 std::vector<std::vector<double>> CmaEs::ask(
@@ -85,6 +92,29 @@ std::vector<std::vector<double>> CmaEs::ask(
     pop.push_back(std::move(x));
   }
   return pop;
+}
+
+const std::vector<std::vector<double>>& CmaEs::begin_generation(
+    const std::function<bool(const std::vector<double>&)>& valid) {
+  assert(!generation_open());
+  pending_population_ = ask(valid);
+  pending_fitness_.assign(pending_population_.size(), 0.0);
+  pending_reported_.assign(pending_population_.size(), false);
+  pending_remaining_ = pending_population_.size();
+  return pending_population_;
+}
+
+bool CmaEs::tell_partial(std::size_t index, double fitness) {
+  assert(generation_open() && index < pending_population_.size() &&
+         !pending_reported_[index]);
+  pending_fitness_[index] = fitness;
+  pending_reported_[index] = true;
+  if (--pending_remaining_ > 0) return false;
+  // Last slot filled: the assembled fitness vector is in candidate order
+  // regardless of the order reports arrived in, so the distribution update
+  // is bit-identical to a barrier-style ask()/tell() round trip.
+  tell(pending_population_, pending_fitness_);
+  return true;
 }
 
 void CmaEs::tell(const std::vector<std::vector<double>>& population,

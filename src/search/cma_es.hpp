@@ -44,6 +44,47 @@ class CmaEs {
   void tell(const std::vector<std::vector<double>>& population,
             const std::vector<double>& fitness);
 
+  /// --- Non-blocking step API (the task-graph evaluation pipeline) ---
+  ///
+  /// begin_generation() samples a generation through exactly the same
+  /// stream and rejection logic as ask(), but retains it: the pending
+  /// population is readable (const, stable storage) while its candidates
+  /// evaluate as concurrently-scheduled tasks. Fitness comes back one slot
+  /// at a time via tell_partial(); the call that fills the last open slot
+  /// applies the full tell() update and returns true, so a generation's
+  /// *completion* — not a join — is what schedules the next one.
+  const std::vector<std::vector<double>>& begin_generation(
+      const std::function<bool(const std::vector<double>&)>& valid = nullptr);
+
+  /// The generation retained by begin_generation(). Valid (and immutable)
+  /// until the tell_partial() that completes it returns.
+  const std::vector<std::vector<double>>& pending_population() const {
+    return pending_population_;
+  }
+
+  /// True while a begun generation still has unreported slots.
+  bool generation_open() const { return pending_remaining_ > 0; }
+
+  /// Reports fitness for pending candidate `index` (each slot exactly
+  /// once). Returns true when this report completed the generation and the
+  /// distribution update was applied. Not thread-safe: serialize calls
+  /// (the pipeline's continuation tasks do so structurally, the outer
+  /// search loop with a mutex).
+  bool tell_partial(std::size_t index, double fitness);
+
+  /// Mean-centered resample from the *current* distribution through an
+  /// external generator: clamp(mean + shrink * sigma * L z), z ~ N(0, I)
+  /// from `rng`. This is the speculative-evaluation predictor —
+  /// statistically a preview of what the next ask() is likely to decode
+  /// to — and because the draw comes from `rng`, the optimizer's own
+  /// stream never advances. `shrink` concentrates the prediction toward
+  /// the distribution mode (0 returns the clamped mean itself, the single
+  /// likeliest decode; 1 reproduces the sampling distribution): discrete
+  /// decodes bucket the space, so predictions near the mode collide with
+  /// real next-generation candidates far more often than full-sigma draws.
+  std::vector<double> sample_speculative(core::Rng& rng,
+                                         double shrink = 1.0) const;
+
   /// Current distribution mean.
   const std::vector<double>& mean() const { return mean_; }
 
@@ -61,6 +102,7 @@ class CmaEs {
 
  private:
   std::vector<double> sample_one();
+  std::vector<double> sample_from(core::Rng& rng, double sigma) const;
 
   CmaEsOptions opts_;
   core::Rng rng_;
@@ -79,6 +121,13 @@ class CmaEs {
   std::vector<double> path_c_;
   int generation_ = 0;
   long long resample_exhausted_ = 0;
+
+  /// Step-API state: the retained generation and its partially-filled
+  /// fitness vector (see begin_generation/tell_partial).
+  std::vector<std::vector<double>> pending_population_;
+  std::vector<double> pending_fitness_;
+  std::vector<bool> pending_reported_;
+  std::size_t pending_remaining_ = 0;
 };
 
 }  // namespace naas::search

@@ -45,10 +45,21 @@ EvalCache::snapshot() const {
 }
 
 std::vector<std::pair<std::uint64_t, MappingSearchResult>>
-EvalCache::snapshot_since(std::uint64_t since) const {
+EvalCache::snapshot_since(std::uint64_t since, std::uint64_t* high_mark) const {
+  // Acquire every shard lock (fixed index order; publish/preload/find take
+  // exactly one, so no cycle is possible) before scanning: the scan and
+  // the seq_ read then form one consistent cut across all shards. Without
+  // the full lock a publish racing the scan could assign a lower insertion
+  // number in an already-scanned shard than one captured from a later
+  // shard, permanently losing (or duplicating) an entry for incremental
+  // callers.
+  std::array<std::unique_lock<std::mutex>, kNumShards> locks;
+  for (std::size_t i = 0; i < kNumShards; ++i)
+    locks[i] = std::unique_lock<std::mutex>(shards_[i].m);
+  if (high_mark != nullptr) *high_mark = seq_.load();
+
   std::vector<std::pair<std::uint64_t, MappingSearchResult>> out;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lk(shard.m);
     for (const auto& [key, entry] : shard.map)
       if (entry.seq > since) out.emplace_back(key, entry.result);
   }

@@ -46,22 +46,36 @@ class EvalCache {
   void clear();
 
   /// Copy of every entry, sorted by key (deterministic bytes when handed to
-  /// ResultStore::encode). Consistent only when quiescent — call between
-  /// evaluation phases, not during a fan-out.
+  /// ResultStore::encode). Linearizable: taken under every shard lock, so
+  /// it is a consistent cut even while publishes race on other threads.
   std::vector<std::pair<std::uint64_t, MappingSearchResult>> snapshot() const;
 
   /// Monotonic insertion counter: incremented once per entry that actually
   /// enters the cache (publish wins and preload adoptions alike). A caller
-  /// that records `sequence()` at one quiescent point and later asks
+  /// that records `sequence()` at a quiescent point and later asks
   /// `snapshot_since` with it gets exactly the entries added in between —
-  /// the incremental-flush primitive of the serving layer.
+  /// the incremental-flush primitive of the serving layer. While publishes
+  /// are in flight, prefer the `high_mark` returned by snapshot_since: a
+  /// bare sequence() read is not ordered against concurrent insertions on
+  /// other shards.
   std::uint64_t sequence() const { return seq_.load(); }
 
   /// Entries whose insertion number is greater than `since`, sorted by key.
-  /// `snapshot_since(0)` equals `snapshot()`. Consistent only when
-  /// quiescent, like snapshot().
+  /// `snapshot_since(0)` equals `snapshot()`.
+  ///
+  /// Linearizable cut: the scan holds every shard lock at once, so the
+  /// result is exactly the entries with `since < seq <= *high_mark` — no
+  /// entry torn across the scan. (A per-shard scan raced with concurrent
+  /// inserts: an entry with a low insertion number could land in an
+  /// already-scanned shard while a higher-numbered entry in a later shard
+  /// was captured, so resuming from any mark either lost the low entry
+  /// forever or returned the high one twice. The hammer test in
+  /// test_result_store.cpp exercises exactly that interleaving.) Chain
+  /// calls by passing `*high_mark` back as the next `since` to stream the
+  /// cache incrementally without duplicates or holes, even under
+  /// concurrent insertion.
   std::vector<std::pair<std::uint64_t, MappingSearchResult>> snapshot_since(
-      std::uint64_t since) const;
+      std::uint64_t since, std::uint64_t* high_mark = nullptr) const;
 
   /// Bulk-inserts persisted entries (e.g. ResultStore::load). Existing keys
   /// win — a live entry is never overwritten by a stale store. Returns how

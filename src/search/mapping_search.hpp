@@ -1,8 +1,10 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 
 #include "arch/accelerator.hpp"
+#include "core/task_graph.hpp"
 #include "core/thread_pool.hpp"
 #include "cost/cost_model.hpp"
 #include "mapping/mapping.hpp"
@@ -38,19 +40,48 @@ struct MappingSearchResult {
   /// (including the canonical dataflow seeds).
   long long generations_batched = 0;
   long long candidates_batch_evaluated = 0;
+  /// Scheduler work meter (not persisted either): task-graph tasks this
+  /// search's chain executed (setup + per-generation shards and
+  /// continuations). Deterministic for any thread count — the chain's task
+  /// breakdown depends only on the budget, never on scheduling.
+  long long tasks_executed = 0;
 };
 
+/// Handle to a submitted mapping-search chain.
+struct MappingSearchChain {
+  /// Promise that completes (with the caller's result slot filled) when
+  /// the chain finishes — the id dependents gate on.
+  core::TaskGraph::TaskId done = 0;
+  /// Raises the chain's queued and future tasks to normal priority.
+  /// Called when a speculatively submitted chain turns out to be needed
+  /// by real work: without promotion the chain would keep running only at
+  /// pool idle and become the critical path's straggler. Idempotent;
+  /// callable from any thread.
+  std::function<void()> promote;
+};
+
+/// Submits the whole CMA-driven mapping search for (arch, layer) onto
+/// `graph` as a chain of dependent tasks: a setup task (layer context +
+/// canonical seeds + generation 0 sampling), then per generation a batch of
+/// fixed-size shard evaluation tasks whose continuation folds fitness in
+/// candidate order, steps the optimizer (CmaEs::tell_partial), and
+/// *schedules* the next generation — no task ever joins on another, so any
+/// number of chains interleave freely on one graph.
+/// `arch`/`layer`/`options` are copied; `out` must stay valid until the
+/// graph quiesces. Chains submitted with Priority::kSpeculative run only
+/// when nothing normal is ready (speculative cache prefetch) until
+/// promoted via the returned handle.
+MappingSearchChain submit_mapping_search(
+    core::TaskGraph& graph, const cost::CostModel& model,
+    const arch::ArchConfig& arch, const nn::ConvLayer& layer,
+    const MappingSearchOptions& options, MappingSearchResult* out,
+    core::TaskGraph::Priority priority = core::TaskGraph::Priority::kNormal);
+
 /// Searches the mapping space of `layer` on `arch`, returning the best
-/// (lowest-EDP) mapping found. Deterministic for a fixed seed.
-///
-/// Evaluation is batched: one cost::LayerContext is built per search and
-/// every CMA-ES generation is scored through CostModel::evaluate_batch.
-/// When `pool` is non-null the generation is cut into contiguous shards
-/// (one per pool thread); each shard decodes its genomes and batch-
-/// evaluates its slice. Candidates are independent, so shard boundaries
-/// cannot change results, and the fitness vector and best-so-far reduction
-/// are assembled in genome-index order afterwards — bit-identical to the
-/// serial run for any thread count.
+/// (lowest-EDP) mapping found. Deterministic for a fixed seed and
+/// bit-identical for any thread count: this is the one-chain convenience
+/// wrapper over submit_mapping_search (one TaskGraph on `pool`, run to
+/// quiescence).
 MappingSearchResult search_mapping(const cost::CostModel& model,
                                    const arch::ArchConfig& arch,
                                    const nn::ConvLayer& layer,

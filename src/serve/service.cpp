@@ -11,6 +11,7 @@
 #include "core/serialize.hpp"
 #include "nn/model_zoo.hpp"
 #include "search/encoding.hpp"
+#include "search/eval_pipeline.hpp"
 #include "search/result_store.hpp"
 
 namespace naas::serve {
@@ -111,14 +112,20 @@ std::vector<Json> EvalService::handle_batch(const std::vector<Json>& requests) {
     }
   }
 
-  // Fan the deduplicated tasks out on the pool. best_mapping fills the
-  // shared cache; the per-request assembly below then hits it for every
-  // task. Mapping search is deterministic per key (seeded by layer shape,
-  // not evaluation order), so this produces byte-identical responses to
-  // sequential submission.
-  core::ThreadPool::run(&pool_, tasks.size(), [&](std::size_t i) {
-    evaluator_.best_mapping(*tasks[i].first, *tasks[i].second);
-  });
+  // Submit the deduplicated work units as mapping-search chains on one
+  // task graph: every chain's CMA-generation shards interleave with every
+  // other's, so one large layer no longer leaves the pool idle while small
+  // ones finish (the old fan-out joined on whole searches). The chains
+  // publish into the shared cache; the per-request assembly below then
+  // hits it for every task. Mapping search is deterministic per key
+  // (seeded by layer shape, not evaluation order), so this produces
+  // byte-identical responses to sequential submission.
+  search::EvalPipeline pipeline(evaluator_);
+  bool any_chain = false;
+  for (const auto& [arch, layer] : tasks)
+    if (pipeline.request(*arch, *layer, /*speculative=*/false))
+      any_chain = true;
+  if (any_chain) pipeline.run();
 
   std::vector<Json> responses;
   responses.reserve(plans.size());
@@ -282,6 +289,10 @@ Json EvalService::cache_stats_json() const {
           Json::integer(evaluator_.generations_batched()));
   obj.set("candidates_batch_evaluated",
           Json::integer(evaluator_.candidates_batch_evaluated()));
+  obj.set("tasks_executed", Json::integer(evaluator_.tasks_executed()));
+  obj.set("speculative_hits", Json::integer(evaluator_.speculative_hits()));
+  obj.set("speculative_wasted",
+          Json::integer(evaluator_.speculative_wasted()));
   obj.set("store_entries_loaded",
           Json::integer(
               static_cast<std::int64_t>(evaluator_.store_entries_loaded())));
@@ -328,8 +339,13 @@ search::StoreStatus EvalService::refresh() {
   StoreStatus first_problem = StoreStatus::kOk;
   std::size_t appended_bytes = 0;
   bool append_failed = false;
+  // The cut the flush mark may advance to: snapshot_since pairs the scan
+  // with the sequence it is consistent with, so entries published after
+  // the scan can never be skipped by a mark that overshoots them.
+  std::uint64_t scan_mark = flush_mark_;
   if (!options_.store_readonly) {
-    search::StoreEntries fresh = evaluator_.snapshot_since(flush_mark_);
+    search::StoreEntries fresh =
+        evaluator_.snapshot_since(flush_mark_, &scan_mark);
     if (!fresh.empty()) {
       const auto count = static_cast<long long>(fresh.size());
       const StoreStatus status = search::ResultStore::append(
@@ -353,6 +369,7 @@ search::StoreStatus EvalService::refresh() {
       (known_store_size_ < 0 ? 0 : known_store_size_) +
       static_cast<long long>(appended_bytes);
   const long long size_now = file_size(options_.store_path);
+  bool reloaded = false;
   if (size_now >= 0 && size_now != expected) {
     const std::size_t before = evaluator_.store_entries_loaded();
     const StoreStatus status = evaluator_.load_store(options_.store_path);
@@ -361,6 +378,7 @@ search::StoreStatus EvalService::refresh() {
       stats_.store_entries_reloaded += static_cast<long long>(
           evaluator_.store_entries_loaded() - before);
       rejected_status_ = StoreStatus::kOk;  // someone healed it
+      reloaded = true;
     } else {
       search::warn_store_rejected(options_.store_path, status);
       // A damaged file is healed (rewritten) on the next refresh.
@@ -369,12 +387,17 @@ search::StoreStatus EvalService::refresh() {
     }
   }
   known_store_size_ = size_now;
-  // Advance the flush mark past the reload so adopted entries are not
-  // re-appended — but only when our own append (if any) landed. After a
-  // failed append the mark stays put and the same entries retry next
-  // refresh; entries a concurrent reload adopted may then be appended
-  // once redundantly, which the duplicate-tolerant load absorbs.
-  if (!append_failed) flush_mark_ = evaluator_.cache_sequence();
+  // Advance the flush mark — but only when our own append (if any)
+  // landed; after a failed append the mark stays put and the same entries
+  // retry next refresh. The mark moves to the snapshot's own consistency
+  // cut (scan_mark), never to a bare post-append sequence read, so an
+  // entry published after the scan can never be covered without having
+  // been flushed. A successful reload additionally advances past the
+  // adopted entries (they came *from* the store; re-appending them is
+  // pure waste) — exact under the quiescent-refresh service contract,
+  // since the preload's insertions are the only ones since the scan.
+  if (!append_failed)
+    flush_mark_ = reloaded ? evaluator_.cache_sequence() : scan_mark;
   // A still-unusable store is a standing problem, not a healthy refresh.
   if (first_problem == StoreStatus::kOk && store_rejected())
     first_problem = rejected_status_;

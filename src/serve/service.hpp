@@ -51,10 +51,12 @@ struct ServiceStats {
 ///
 /// Batching: handle_batch collapses all (arch, layer) mapping-search work
 /// units across the batch — including the unique-layer expansion of
-/// evaluate_network requests — into one deduplicated task set, fans it out
-/// on the pool, then assembles responses per request in order. Because
-/// mapping search is deterministic per key, batched responses are
-/// bit-identical to submitting the same requests one at a time.
+/// evaluate_network requests — into one deduplicated chain set on a
+/// task graph (search::EvalPipeline), so concurrent searches interleave
+/// at CMA-shard granularity, then assembles responses per request in
+/// order. Because mapping search is deterministic per key, batched
+/// responses are bit-identical to submitting the same requests one at a
+/// time.
 ///
 /// Store refresh: refresh() appends entries computed since the last mark
 /// (ResultStore::append — cost proportional to new work, not store size),

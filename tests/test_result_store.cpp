@@ -2,9 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <limits>
+#include <set>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "arch/presets.hpp"
 #include "arch/resources.hpp"
@@ -373,6 +377,51 @@ TEST(EvalCacheSince, LosingRacesAndPreloadSkipsConsumeNoSequence) {
   const auto fresh = cache.snapshot_since(mark);
   ASSERT_EQ(fresh.size(), 1u);
   EXPECT_EQ(fresh[0].first, 2u);
+}
+
+TEST(EvalCacheSince, IncrementalSnapshotsUnderConcurrentInsertionLoseNothing) {
+  // Hammer the incremental-flush contract: a reader streaming the cache
+  // through chained snapshot_since(mark, &mark) calls while writers
+  // publish concurrently must see every entry exactly once. The old
+  // per-shard scan could capture a high-sequence entry from a late shard
+  // while missing a lower-sequence entry racing into an already-scanned
+  // shard; resuming from the returned mark then lost the low entry forever
+  // (or returned the high one twice).
+  constexpr int kWriters = 4;
+  constexpr std::uint64_t kKeysPerWriter = 400;
+  search::EvalCache cache;
+
+  std::atomic<int> writers_active{kWriters};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&cache, &writers_active, w] {
+      for (std::uint64_t i = 0; i < kKeysPerWriter; ++i) {
+        // Spread keys across shards (the shard index mixes the key bits).
+        const std::uint64_t key =
+            (i * static_cast<std::uint64_t>(kWriters) + w) * 0x100 + 1;
+        cache.publish(key, sample_result(), nullptr);
+      }
+      writers_active.fetch_sub(1);
+    });
+  }
+
+  std::set<std::uint64_t> seen;
+  bool duplicate = false;
+  std::uint64_t mark = 0;
+  const auto drain = [&] {
+    const auto batch = cache.snapshot_since(mark, &mark);
+    for (const auto& [key, result] : batch)
+      duplicate |= !seen.insert(key).second;
+  };
+  while (writers_active.load() > 0) drain();
+
+  for (auto& t : writers) t.join();
+  drain();  // final quiescent sweep picks up the tail
+
+  EXPECT_FALSE(duplicate);
+  EXPECT_EQ(seen.size(),
+            static_cast<std::size_t>(kWriters) * kKeysPerWriter);
+  EXPECT_EQ(cache.size(), seen.size());
 }
 
 // ------------------------------------------------------------- warm start
