@@ -1,0 +1,147 @@
+#!/usr/bin/env bash
+# Fault-injection soak of the TCP serving stack.
+#
+# Starts naas_serve in listen mode with deterministic socket and store
+# faults armed (short reads/writes, EINTR, write stalls, bounded append
+# and refresh failures), then runs the adversarial python client against
+# it: deep pipelining, garbage, oversized lines, abortive RSTs, expired
+# deadlines, concurrent connections. The server must survive all of it,
+# drain cleanly on SIGTERM (exit 0), leave a loadable store behind, and a
+# warm stdin-mode restart must answer byte-identically to a cold
+# stdin-mode reference.
+#
+# Usage: scripts/net_soak.sh [build-dir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+SERVE="$BUILD_DIR/naas_serve"
+CLIENT="scripts/net_soak_client.py"
+
+if [ ! -x "$SERVE" ]; then
+  echo "net_soak: $SERVE not built" >&2
+  exit 1
+fi
+
+WORK="$(mktemp -d)"
+STORE="$WORK/soak_store.bin"
+SERVER_ERR="$WORK/server.err"
+SERVER_PID=""
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill -KILL "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+# Deterministic fault weather: constant low-probability socket faults plus
+# bounded store/refresh failures (bounded so the retry/heal paths fire and
+# then let the drain flush succeed).
+FAULTS="seed=7"
+FAULTS="$FAULTS,sock_read_short=0.05,sock_read_eintr=0.02"
+FAULTS="$FAULTS,sock_write_short=0.05,sock_write_stall=0.02@50"
+FAULTS="$FAULTS,store_append_fail=1.0@2,refresh_fail=1.0@2"
+
+echo "=== soak: starting server with NAAS_FAULTS=$FAULTS ==="
+NAAS_FAULTS="$FAULTS" "$SERVE" \
+    --listen 127.0.0.1:0 \
+    --cache-path "$STORE" \
+    --max-line-bytes 4096 \
+    2> "$SERVER_ERR" &
+SERVER_PID=$!
+
+# The bound port is announced on stderr.
+PORT=""
+for _ in $(seq 1 100); do
+  PORT="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+          "$SERVER_ERR" | head -n1)"
+  [ -n "$PORT" ] && break
+  kill -0 "$SERVER_PID" 2>/dev/null || {
+    echo "net_soak: server died before binding:" >&2
+    cat "$SERVER_ERR" >&2
+    exit 1
+  }
+  sleep 0.1
+done
+[ -n "$PORT" ] || { echo "net_soak: no port announced" >&2; exit 1; }
+echo "=== soak: server up on port $PORT (pid $SERVER_PID) ==="
+
+python3 "$CLIENT" --port "$PORT" --rounds 3 --max-line-bytes 4096
+
+echo "=== soak: draining server with SIGTERM ==="
+kill -TERM "$SERVER_PID"
+EXIT_CODE=0
+wait "$SERVER_PID" || EXIT_CODE=$?
+SERVER_PID=""
+echo "--- server stderr ---"
+cat "$SERVER_ERR"
+if [ "$EXIT_CODE" -ne 0 ]; then
+  echo "net_soak: server exited $EXIT_CODE under fault weather" >&2
+  exit 1
+fi
+
+# Queue overflow: a zero-capacity admission queue must shed every request
+# with a structured `overloaded` error — and still drain to exit 0.
+echo "=== soak: queue-overflow shedding check ==="
+"$SERVE" --listen 127.0.0.1:0 --max-queue 0 2> "$WORK/shed.err" &
+SERVER_PID=$!
+PORT=""
+for _ in $(seq 1 100); do
+  PORT="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+          "$WORK/shed.err" | head -n1)"
+  [ -n "$PORT" ] && break
+  sleep 0.1
+done
+[ -n "$PORT" ] || { echo "net_soak: shed server announced no port" >&2; exit 1; }
+python3 - "$PORT" <<'EOF'
+import json, socket, sys
+sock = socket.create_connection(("127.0.0.1", int(sys.argv[1])), timeout=30)
+sock.sendall(b'{"id":42,"method":"cache_stats"}\n')
+resp = json.loads(sock.makefile().readline())
+assert resp["id"] == 42 and not resp["ok"], resp
+assert resp["error"]["code"] == "overloaded", resp
+print("soak: zero-capacity queue shed with structured overloaded",
+      file=sys.stderr)
+EOF
+kill -TERM "$SERVER_PID"
+EXIT_CODE=0
+wait "$SERVER_PID" || EXIT_CODE=$?
+SERVER_PID=""
+grep -q ' shed' "$WORK/shed.err" || true
+if [ "$EXIT_CODE" -ne 0 ]; then
+  echo "net_soak: shedding server exited $EXIT_CODE" >&2
+  exit 1
+fi
+
+# The drain left a loadable store behind: a warm stdin-mode restart (no
+# faults) must boot from it and answer byte-identically to a cold
+# stdin-mode reference with a fresh store.
+echo "=== soak: warm-restart byte-identity check ==="
+SESSION="$WORK/session.jsonl"
+printf '%s\n' \
+  '{"id":1,"method":"search_mapping","arch":{"preset":"nvdla256"},"layer":{"network":"squeezenet","index":0}}' \
+  '{"id":2,"method":"search_mapping","arch":{"preset":"nvdla256"},"layer":{"network":"squeezenet","index":3}}' \
+  '{"id":3,"method":"nonsense"}' > "$SESSION"
+
+"$SERVE" --cache-path "$STORE" < "$SESSION" \
+    > "$WORK/warm.out" 2> "$WORK/warm.err"
+"$SERVE" --cache-path "$WORK/fresh_store.bin" < "$SESSION" \
+    > "$WORK/cold.out" 2> "$WORK/cold.err"
+
+diff "$WORK/cold.out" "$WORK/warm.out" || {
+  echo "net_soak: warm restart responses differ from cold reference" >&2
+  exit 1
+}
+# The warm boot really did adopt the soaked store (the soak's queries
+# cover the session's layers, so zero new searches are needed).
+grep -q 'booted with 0 store entries' "$WORK/warm.err" && {
+  echo "net_soak: warm restart did not load the soaked store" >&2
+  cat "$WORK/warm.err" >&2
+  exit 1
+}
+grep -q 'mapping searches run: 0;' "$WORK/warm.err" || {
+  echo "net_soak: warm restart re-ran searches the store should hold" >&2
+  cat "$WORK/warm.err" >&2
+  exit 1
+}
+
+echo "net_soak: PASS (server drained clean, store survived, warm restart byte-identical)"

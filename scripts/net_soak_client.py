@@ -1,0 +1,189 @@
+#!/usr/bin/env python3
+"""Adversarial TCP client for the naas_serve soak test.
+
+Hammers a running server with the full spectrum of client behaviour the
+transport must survive: deep pipelining, garbage lines, oversized lines,
+half-written requests followed by an abortive RST, expired deadlines, and
+several of those at once from concurrent connections. Every well-formed
+request must come back in order with the right id; every malformed one
+must earn a structured error without killing the connection (or the
+server). Exits 0 only if every assertion held.
+
+Usage: net_soak_client.py --port P [--rounds N] [--max-line-bytes B]
+"""
+
+import argparse
+import json
+import socket
+import struct
+import sys
+import threading
+
+FAILURES = []
+FAILURES_LOCK = threading.Lock()
+
+
+def fail(msg):
+    with FAILURES_LOCK:
+        FAILURES.append(msg)
+    print("FAIL: " + msg, file=sys.stderr)
+
+
+def search_line(req_id, index):
+    return json.dumps(
+        {
+            "id": req_id,
+            "method": "search_mapping",
+            "arch": {"preset": "nvdla256"},
+            "layer": {"network": "squeezenet", "index": index},
+        },
+        separators=(",", ":"),
+    )
+
+
+class LineConn:
+    """Blocking line-framed connection with a read deadline."""
+
+    def __init__(self, port, timeout=120.0):
+        self.sock = socket.create_connection(("127.0.0.1", port), timeout=10)
+        self.sock.settimeout(timeout)
+        self.buf = b""
+
+    def send(self, data):
+        self.sock.sendall(data.encode() if isinstance(data, str) else data)
+
+    def read_line(self):
+        while b"\n" not in self.buf:
+            chunk = self.sock.recv(65536)
+            if not chunk:
+                return None
+            self.buf += chunk
+        line, self.buf = self.buf.split(b"\n", 1)
+        return line.decode()
+
+    def reset(self):
+        """Abortive close: RST instead of FIN."""
+        self.sock.setsockopt(
+            socket.SOL_SOCKET, socket.SO_LINGER, struct.pack("ii", 1, 0)
+        )
+        self.sock.close()
+
+    def close(self):
+        self.sock.close()
+
+
+def expect_response(conn, req_id, what):
+    line = conn.read_line()
+    if line is None:
+        fail(f"{what}: connection closed before response id={req_id}")
+        return None
+    try:
+        resp = json.loads(line)
+    except ValueError:
+        fail(f"{what}: unparseable response: {line!r}")
+        return None
+    if resp.get("id") != req_id:
+        fail(f"{what}: expected id={req_id}, got {line!r}")
+    return resp
+
+
+def phase_pipelined(port, rounds):
+    """Deep pipelining: one write, many requests, in-order responses."""
+    conn = LineConn(port)
+    ids = []
+    burst = []
+    for r in range(rounds):
+        for index in range(4):
+            req_id = r * 100 + index
+            ids.append(req_id)
+            burst.append(search_line(req_id, index))
+    conn.send("\n".join(burst) + "\n")
+    for req_id in ids:
+        resp = expect_response(conn, req_id, "pipelined")
+        if resp is not None and not resp.get("ok"):
+            fail(f"pipelined: id={req_id} not ok: {resp}")
+    conn.close()
+
+
+def phase_malformed(port, max_line_bytes):
+    """Garbage and oversized lines: structured errors, connection lives."""
+    conn = LineConn(port)
+    conn.send("this is not json\n")
+    resp = expect_response(conn, None, "garbage line")
+    if resp is not None and resp.get("ok"):
+        fail(f"garbage line was accepted: {resp}")
+
+    conn.send("x" * (max_line_bytes + 10) + "\n")
+    resp = expect_response(conn, None, "oversized line")
+    if resp is not None and (
+        resp.get("ok") or resp.get("error", {}).get("code") != "bad_request"
+    ):
+        fail(f"oversized line: expected bad_request, got {resp}")
+
+    # The same connection must still serve a valid request afterwards.
+    conn.send(search_line(7, 0) + "\n")
+    resp = expect_response(conn, 7, "valid-after-oversized")
+    if resp is not None and not resp.get("ok"):
+        fail(f"valid-after-oversized not ok: {resp}")
+    conn.close()
+
+
+def phase_deadline(port):
+    """A pre-expired deadline earns deadline_exceeded, never evaluation."""
+    conn = LineConn(port)
+    req = json.loads(search_line(9, 0))
+    req["deadline_ms"] = 0
+    conn.send(json.dumps(req, separators=(",", ":")) + "\n")
+    resp = expect_response(conn, 9, "deadline")
+    if resp is not None and (
+        resp.get("ok")
+        or resp.get("error", {}).get("code") != "deadline_exceeded"
+    ):
+        fail(f"deadline: expected deadline_exceeded, got {resp}")
+    conn.close()
+
+
+def phase_rude(port, rounds):
+    """Half-written requests followed by RST; the server must shrug."""
+    for _ in range(rounds):
+        conn = LineConn(port)
+        conn.send('{"id":1,"method":"search_map')  # no newline
+        conn.reset()
+    # And a clean connection that sends nothing at all.
+    LineConn(port).close()
+
+
+def phase_concurrent(port, rounds):
+    """Several pipelining clients at once."""
+    threads = [
+        threading.Thread(target=phase_pipelined, args=(port, rounds))
+        for _ in range(4)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument("--rounds", type=int, default=3)
+    parser.add_argument("--max-line-bytes", type=int, default=4096)
+    args = parser.parse_args()
+
+    phase_pipelined(args.port, args.rounds)
+    phase_malformed(args.port, args.max_line_bytes)
+    phase_deadline(args.port)
+    phase_rude(args.port, args.rounds)
+    phase_concurrent(args.port, args.rounds)
+
+    if FAILURES:
+        print(f"soak client: {len(FAILURES)} failure(s)", file=sys.stderr)
+        return 1
+    print("soak client: all phases passed", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,92 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace naas::core {
+
+/// Deterministic fault-injection harness for the I/O choke points of the
+/// serving stack (socket read/write, result-store append/load, store
+/// refresh). Production builds pay a single relaxed atomic load per
+/// potential fault site while disarmed; armed, every decision is a pure
+/// function of (seed, site name, per-site consultation counter), so a
+/// failing run replays bit-for-bit from its spec string.
+///
+/// Spec grammar (comma-separated items, whitespace-free):
+///
+///   seed=N                     decision-stream seed (default 1)
+///   <site>=<prob>              fire with probability prob in [0,1]
+///   <site>=<prob>@<maxfires>   ...but at most maxfires times
+///   <site>=<prob>+<skip>       ...and never on the first skip consultations
+///
+/// e.g. NAAS_FAULTS="sock_read_short=0.3,store_append_fail=1@2,seed=7"
+///
+/// Sites are plain strings owned by the call sites; the injector needs no
+/// registry. Sites currently wired in (see docs/serving.md for effects):
+///
+///   sock_read_short   sock_read_eintr   sock_read_reset
+///   sock_write_short  sock_write_eintr  sock_write_reset  sock_write_stall
+///   store_append_fail store_append_torn store_save_fail
+///   store_load_fail   store_load_corrupt
+///   refresh_fail
+///
+/// Configuration comes from the NAAS_FAULTS environment variable at first
+/// use, or programmatically via configure() (tests). Thread-safe.
+class FaultInjector {
+ public:
+  /// The process-wide injector. First call reads NAAS_FAULTS.
+  static FaultInjector& instance();
+
+  /// True when any fault rule is armed (single relaxed load; the whole
+  /// cost of the harness in production).
+  static bool armed() { return armed_flag().load(std::memory_order_relaxed); }
+
+  /// Replaces all rules with `spec`. Empty spec disarms. Returns false and
+  /// sets `*err` (optional) on a malformed spec, leaving the injector
+  /// disarmed rather than half-configured.
+  bool configure(const std::string& spec, std::string* err = nullptr);
+
+  /// Drops every rule and counter.
+  void disarm();
+
+  /// Deterministically decides whether the fault at `site` fires on this
+  /// consultation. Unknown sites never fire (but are counted, so summary()
+  /// shows which choke points a run actually crossed).
+  bool should_fire(const std::string& site);
+
+  /// Times `site` fired / was consulted since the last configure/disarm.
+  long long fired(const std::string& site) const;
+  long long consulted(const std::string& site) const;
+
+  /// "site: fired/consulted" for every consulted site, comma-separated,
+  /// sorted by site. Empty string when nothing was consulted.
+  std::string summary() const;
+
+ private:
+  FaultInjector();
+  static std::atomic<bool>& armed_flag();
+
+  struct Impl;
+  Impl* impl_;  ///< leaked singleton state; never destroyed
+};
+
+/// Hot-path helper: `if (core::fault("sock_read_short")) ...`. Disarmed
+/// cost is the armed() load only.
+inline bool fault(const char* site) {
+  return FaultInjector::armed() && FaultInjector::instance().should_fire(site);
+}
+
+/// RAII spec installer for tests: configures on construction, disarms on
+/// destruction (restoring the quiet default even when a test fails).
+class ScopedFaults {
+ public:
+  explicit ScopedFaults(const std::string& spec) {
+    FaultInjector::instance().configure(spec);
+  }
+  ~ScopedFaults() { FaultInjector::instance().disarm(); }
+  ScopedFaults(const ScopedFaults&) = delete;
+  ScopedFaults& operator=(const ScopedFaults&) = delete;
+};
+
+}  // namespace naas::core

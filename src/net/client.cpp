@@ -1,0 +1,77 @@
+#include "net/client.hpp"
+
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+
+namespace naas::net {
+
+bool LineClient::connect(const std::string& host, int port, int timeout_ms,
+                         std::string* err) {
+  inbuf_.clear();
+  eof_ = false;
+  fd_ = tcp_connect(host, port, timeout_ms, err);
+  return fd_.valid();
+}
+
+bool LineClient::send_raw(const std::string& bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const IoResult r =
+        write_some(fd_.get(), bytes.data() + sent, bytes.size() - sent);
+    if (r.status == IoStatus::kOk) {
+      sent += r.bytes;
+    } else if (r.status == IoStatus::kWouldBlock) {
+      pollfd p{fd_.get(), POLLOUT, 0};
+      if (::poll(&p, 1, 5000) <= 0) return false;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool LineClient::send_line(const std::string& line) {
+  return send_raw(line + "\n");
+}
+
+bool LineClient::read_line(std::string* line, int timeout_ms) {
+  for (;;) {
+    const std::size_t nl = inbuf_.find('\n');
+    if (nl != std::string::npos) {
+      *line = inbuf_.substr(0, nl);
+      inbuf_.erase(0, nl + 1);
+      return true;
+    }
+    if (eof_ || !fd_.valid()) return false;
+    pollfd p{fd_.get(), POLLIN, 0};
+    if (::poll(&p, 1, timeout_ms) <= 0) return false;
+    char buf[4096];
+    const IoResult r = read_some(fd_.get(), buf, sizeof(buf));
+    if (r.status == IoStatus::kOk) {
+      inbuf_.append(buf, r.bytes);
+    } else if (r.status == IoStatus::kEof) {
+      eof_ = true;
+    } else if (r.status == IoStatus::kError) {
+      return false;
+    }
+    // kWouldBlock: loop back into poll.
+  }
+}
+
+void LineClient::shutdown_write() {
+  if (fd_.valid()) ::shutdown(fd_.get(), SHUT_WR);
+}
+
+void LineClient::reset() {
+  if (!fd_.valid()) return;
+  linger lg{};
+  lg.l_onoff = 1;
+  lg.l_linger = 0;
+  ::setsockopt(fd_.get(), SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+  fd_.close();
+}
+
+void LineClient::close() { fd_.close(); }
+
+}  // namespace naas::net

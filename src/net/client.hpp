@@ -1,0 +1,46 @@
+#pragma once
+
+#include <string>
+
+#include "net/socket.hpp"
+
+namespace naas::net {
+
+/// Blocking newline-framed client for the serve protocol — the test,
+/// bench, and soak harness counterpart of serve::Server. Deliberately
+/// simple: one connection, bounded waits everywhere, no implicit retries
+/// (a fault-injection harness needs failures to surface, not be papered
+/// over).
+class LineClient {
+ public:
+  LineClient() = default;
+
+  bool connect(const std::string& host, int port, int timeout_ms,
+               std::string* err = nullptr);
+  bool connected() const { return fd_.valid(); }
+  int fd() const { return fd_.get(); }
+
+  /// Sends `line` + '\n' (blocking until fully written or failure).
+  bool send_line(const std::string& line);
+  /// Sends raw bytes verbatim (malformed-input tests).
+  bool send_raw(const std::string& bytes);
+
+  /// Reads the next '\n'-terminated line (stripped) within `timeout_ms`.
+  /// False on timeout, EOF, or error; eof() distinguishes a clean close.
+  bool read_line(std::string* line, int timeout_ms);
+  bool eof() const { return eof_; }
+
+  /// Half-close: no more requests, responses still readable.
+  void shutdown_write();
+  /// Abortive close (SO_LINGER 0 => RST on close) — the rude-client event
+  /// the server must shrug off.
+  void reset();
+  void close();
+
+ private:
+  Fd fd_;
+  std::string inbuf_;
+  bool eof_ = false;
+};
+
+}  // namespace naas::net

@@ -1,0 +1,40 @@
+#include "net/poller.hpp"
+
+#include <poll.h>
+
+namespace naas::net {
+
+void Poller::clear() { fds_.clear(); }
+
+void Poller::add(int fd, bool want_read, bool want_write) {
+  if (fd < 0 || (!want_read && !want_write)) return;
+  pollfd p{};
+  p.fd = fd;
+  if (want_read) p.events |= POLLIN;
+  if (want_write) p.events |= POLLOUT;
+  fds_.push_back(p);
+}
+
+int Poller::wait(int timeout_ms) {
+  if (fds_.empty()) return 0;
+  const int n = ::poll(fds_.data(), fds_.size(), timeout_ms);
+  return n < 0 ? 0 : n;
+}
+
+const pollfd* Poller::find(int fd) const {
+  for (const pollfd& p : fds_)
+    if (p.fd == fd) return &p;
+  return nullptr;
+}
+
+bool Poller::readable(int fd) const {
+  const pollfd* p = find(fd);
+  return p && (p->revents & (POLLIN | POLLHUP | POLLERR | POLLNVAL)) != 0;
+}
+
+bool Poller::writable(int fd) const {
+  const pollfd* p = find(fd);
+  return p && (p->revents & (POLLOUT | POLLHUP | POLLERR | POLLNVAL)) != 0;
+}
+
+}  // namespace naas::net

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <poll.h>
+
+#include <vector>
+
+namespace naas::net {
+
+/// Thin readiness loop over poll(2). The set is rebuilt every iteration —
+/// with tens-to-hundreds of connections the O(n) rebuild is noise next to
+/// the JSON work per request, and it keeps registration impossible to
+/// desynchronize from connection state (the classic epoll bug class).
+class Poller {
+ public:
+  void clear();
+  void add(int fd, bool want_read, bool want_write);
+
+  /// Polls with `timeout_ms` (-1 = forever). Returns the number of ready
+  /// descriptors; 0 on timeout AND on EINTR — a signal simply wakes the
+  /// loop so it can notice its stop flag.
+  int wait(int timeout_ms);
+
+  /// Readiness of `fd` after the last wait(). `readable` includes hangup
+  /// and error conditions so the owner always drains/collects the fd.
+  bool readable(int fd) const;
+  bool writable(int fd) const;
+
+ private:
+  const ::pollfd* find(int fd) const;
+  std::vector<::pollfd> fds_;
+};
+
+}  // namespace naas::net

@@ -1,0 +1,163 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "core/fault.hpp"
+
+namespace naas::net {
+namespace {
+
+std::string errno_string(const char* what) {
+  return std::string(what) + ": " + ::strerror(errno);
+}
+
+bool parse_addr(const std::string& host, int port, sockaddr_in* addr,
+                std::string* err) {
+  ::memset(addr, 0, sizeof(*addr));
+  addr->sin_family = AF_INET;
+  addr->sin_port = htons(static_cast<std::uint16_t>(port));
+  const char* node = host.empty() ? "0.0.0.0" : host.c_str();
+  if (::inet_pton(AF_INET, node, &addr->sin_addr) != 1) {
+    if (err) *err = "not an IPv4 address: '" + host + "'";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void Fd::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+IoResult read_some(int fd, char* buf, std::size_t cap) {
+  if (core::fault("sock_read_reset")) return {IoStatus::kError, 0};
+  if (core::fault("sock_read_eintr")) return {IoStatus::kWouldBlock, 0};
+  if (cap > 1 && core::fault("sock_read_short")) cap = 1;
+  const ssize_t n = ::read(fd, buf, cap);
+  if (n > 0) return {IoStatus::kOk, static_cast<std::size_t>(n)};
+  if (n == 0) return {IoStatus::kEof, 0};
+  if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)
+    return {IoStatus::kWouldBlock, 0};
+  return {IoStatus::kError, 0};
+}
+
+IoResult write_some(int fd, const char* buf, std::size_t len) {
+  if (core::fault("sock_write_reset")) return {IoStatus::kError, 0};
+  if (core::fault("sock_write_eintr") || core::fault("sock_write_stall"))
+    return {IoStatus::kWouldBlock, 0};
+  if (len > 1 && core::fault("sock_write_short")) len = 1;
+  // MSG_NOSIGNAL: a peer that closed mid-write must surface as EPIPE, not
+  // kill the process with SIGPIPE.
+  const ssize_t n = ::send(fd, buf, len, MSG_NOSIGNAL);
+  if (n >= 0) return {IoStatus::kOk, static_cast<std::size_t>(n)};
+  if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)
+    return {IoStatus::kWouldBlock, 0};
+  return {IoStatus::kError, 0};
+}
+
+bool set_nonblocking(int fd, std::string* err) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    if (err) *err = errno_string("fcntl(O_NONBLOCK)");
+    return false;
+  }
+  return true;
+}
+
+bool TcpListener::listen(const std::string& host, int port, int backlog,
+                         std::string* err) {
+  close();
+  sockaddr_in addr{};
+  if (!parse_addr(host, port, &addr, err)) return false;
+
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd) {
+    if (err) *err = errno_string("socket");
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    if (err) *err = errno_string("bind");
+    return false;
+  }
+  if (::listen(fd.get(), backlog) != 0) {
+    if (err) *err = errno_string("listen");
+    return false;
+  }
+  if (!set_nonblocking(fd.get(), err)) return false;
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&bound), &len) !=
+      0) {
+    if (err) *err = errno_string("getsockname");
+    return false;
+  }
+  port_ = ntohs(bound.sin_port);
+  fd_ = std::move(fd);
+  if (err) err->clear();
+  return true;
+}
+
+Fd TcpListener::accept_one() {
+  if (!fd_.valid()) return Fd();
+  Fd conn(::accept(fd_.get(), nullptr, nullptr));
+  if (!conn) return Fd();
+  if (!set_nonblocking(conn.get())) return Fd();
+  const int one = 1;
+  ::setsockopt(conn.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return conn;
+}
+
+Fd tcp_connect(const std::string& host, int port, int timeout_ms,
+               std::string* err) {
+  sockaddr_in addr{};
+  if (!parse_addr(host.empty() ? "127.0.0.1" : host, port, &addr, err))
+    return Fd();
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd) {
+    if (err) *err = errno_string("socket");
+    return Fd();
+  }
+  if (!set_nonblocking(fd.get(), err)) return Fd();
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    if (errno != EINPROGRESS) {
+      if (err) *err = errno_string("connect");
+      return Fd();
+    }
+    pollfd p{fd.get(), POLLOUT, 0};
+    if (::poll(&p, 1, timeout_ms) <= 0) {
+      if (err) *err = "connect timed out";
+      return Fd();
+    }
+    int so_error = 0;
+    socklen_t len = sizeof(so_error);
+    ::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &so_error, &len);
+    if (so_error != 0) {
+      errno = so_error;
+      if (err) *err = errno_string("connect");
+      return Fd();
+    }
+  }
+  const int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (err) err->clear();
+  return fd;
+}
+
+}  // namespace naas::net

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+
+namespace naas::net {
+
+/// Move-only RAII file descriptor.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { close(); }
+  Fd(Fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  explicit operator bool() const { return valid(); }
+  int release() { return std::exchange(fd_, -1); }
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Outcome classification for nonblocking socket I/O. EINTR maps to
+/// kWouldBlock (the readiness loop simply retries on its next pass), and
+/// every hard error — ECONNRESET included — maps to kError: transport
+/// errors are a per-connection event, never a server event.
+enum class IoStatus { kOk, kWouldBlock, kEof, kError };
+
+struct IoResult {
+  IoStatus status = IoStatus::kOk;
+  std::size_t bytes = 0;  ///< transferred (kOk only)
+};
+
+/// read()/write() wrappers with the deterministic fault seam in front of
+/// the syscall (core::fault sites sock_read_{short,eintr,reset} and
+/// sock_write_{short,eintr,reset,stall}): a short read/write truncates the
+/// requested length to 1 byte, eintr/stall surface as kWouldBlock, reset
+/// as kError — precisely the weather a TCP server lives in.
+IoResult read_some(int fd, char* buf, std::size_t cap);
+IoResult write_some(int fd, const char* buf, std::size_t len);
+
+/// O_NONBLOCK. Returns false with `*err` (optional) on failure.
+bool set_nonblocking(int fd, std::string* err = nullptr);
+
+/// Listening TCP socket (IPv4). `port` 0 binds an ephemeral port; port()
+/// reports the actual one after listen() succeeds.
+class TcpListener {
+ public:
+  bool listen(const std::string& host, int port, int backlog,
+              std::string* err);
+  /// Accepts one pending connection, already set nonblocking. Invalid Fd
+  /// when none is pending (or on a transient accept error).
+  Fd accept_one();
+  int port() const { return port_; }
+  int fd() const { return fd_.get(); }
+  bool listening() const { return fd_.valid(); }
+  void close() { fd_.close(); }
+
+ private:
+  Fd fd_;
+  int port_ = 0;
+};
+
+/// Blocking TCP connect to host:port with a bounded wait; used by the
+/// line client, tests, and the bench. Returns an invalid Fd + `*err` on
+/// failure.
+Fd tcp_connect(const std::string& host, int port, int timeout_ms,
+               std::string* err);
+
+}  // namespace naas::net

@@ -54,8 +54,10 @@ ArchEvaluator::ArchEvaluator(const cost::CostModel& model,
 
 StoreStatus ArchEvaluator::load_store(const std::string& path) {
   StoreLoadResult loaded = ResultStore::load(path);
-  if (loaded.status == StoreStatus::kOk)
-    store_entries_loaded_ += cache_.preload(std::move(loaded.entries));
+  // A damaged store still yields its checksum-validated prefix; adopting
+  // it keeps crash-torn appends cheap (the caller sees the non-kOk status
+  // and heals the file separately).
+  store_entries_loaded_ += cache_.preload(std::move(loaded.entries));
   return loaded.status;
 }
 

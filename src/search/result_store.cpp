@@ -6,6 +6,7 @@
 #include <atomic>
 #include <cstdio>
 
+#include "core/fault.hpp"
 #include "core/log.hpp"
 #include "core/serialize.hpp"
 #include "search/eval_cache.hpp"
@@ -151,8 +152,12 @@ std::string ResultStore::encode(StoreEntries entries) {
 StoreLoadResult ResultStore::decode(const void* data, std::size_t size) {
   constexpr std::size_t kHeaderBytes = sizeof(kMagic) + 4 + 4 + 8;
   StoreLoadResult out;
-  const auto reject = [&out](StoreStatus status) {
-    out.entries.clear();
+  // Damage stops the parse but keeps the validated prefix: entries roll
+  // back to the last segment whose checksum passed, so a torn append or a
+  // flipped byte in segment N costs segments >= N, never the whole store.
+  std::size_t salvage_boundary = 0;
+  const auto reject = [&out, &salvage_boundary](StoreStatus status) {
+    out.entries.resize(salvage_boundary);
     out.status = status;
     return out;
   };
@@ -198,6 +203,7 @@ StoreLoadResult ResultStore::decode(const void* data, std::size_t size) {
     if (checksum != core::fnv1a64(bytes + segment_start,
                                   payload_end - segment_start))
       return reject(StoreStatus::kCorrupt);
+    salvage_boundary = out.entries.size();
     first_segment = false;
   }
   out.status = StoreStatus::kOk;
@@ -205,6 +211,7 @@ StoreLoadResult ResultStore::decode(const void* data, std::size_t size) {
 }
 
 StoreStatus ResultStore::save(const std::string& path, StoreEntries entries) {
+  if (core::fault("store_save_fail")) return StoreStatus::kIoError;
   const std::string bytes = encode(std::move(entries));
   // Unique temp name per process and call: concurrent writers sharing one
   // cache_path (sweep shards, parallel CI jobs) must never stomp each
@@ -234,9 +241,22 @@ StoreStatus ResultStore::append(const std::string& path, StoreEntries entries,
                                 std::size_t* bytes_appended) {
   if (bytes_appended) *bytes_appended = 0;
   if (entries.empty()) return StoreStatus::kOk;
+  // Transient append failure (ENOSPC and friends) before any byte lands:
+  // the caller's retry/backoff path, file untouched.
+  if (core::fault("store_append_fail")) return StoreStatus::kIoError;
   const std::string bytes = encode(std::move(entries));
   FILE* f = std::fopen(path.c_str(), "ab");
   if (!f) return StoreStatus::kIoError;
+  // A *torn* append — the crash-mid-write case the truncate rollback below
+  // cannot see: half a segment lands and stays. Readers must salvage the
+  // prior segments and the next refresh must heal by atomic rewrite.
+  if (core::fault("store_append_torn")) {
+    std::setvbuf(f, nullptr, _IONBF, 0);
+    std::fseek(f, 0, SEEK_END);
+    std::fwrite(bytes.data(), 1, bytes.size() / 2, f);
+    std::fclose(f);
+    return StoreStatus::kIoError;
+  }
   // One unbuffered write per segment: in "a" mode the kernel places it at
   // the current end of file, which keeps the common single-writer case
   // torn-segment-free even while readers load concurrently.
@@ -270,10 +290,14 @@ StoreLoadResult ResultStore::load(const std::string& path) {
   while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) bytes.append(buf, n);
   const bool read_error = std::ferror(f) != 0;
   std::fclose(f);
-  if (read_error) {
+  if (read_error || core::fault("store_load_fail")) {
     out.status = StoreStatus::kIoError;
     return out;
   }
+  // Checksum damage injected in memory, not on disk: exercises the
+  // reject/salvage path without making the fault sticky across reloads.
+  if (!bytes.empty() && core::fault("store_load_corrupt"))
+    bytes[bytes.size() / 2] ^= 0x5a;
   return decode(bytes.data(), bytes.size());
 }
 
@@ -295,10 +319,11 @@ bool warn_store_write_failed(const std::string& path, StoreStatus status) {
 std::size_t warm_start_cache(EvalCache& cache, const std::string& path) {
   if (path.empty()) return 0;
   StoreLoadResult loaded = ResultStore::load(path);
-  if (loaded.status == StoreStatus::kOk)
-    return cache.preload(std::move(loaded.entries));
   warn_store_rejected(path, loaded.status);
-  return 0;
+  // Adopt whatever validated: everything (kOk) or the salvaged prefix of
+  // a damaged file — checksummed entries are trustworthy even when the
+  // bytes after them are not.
+  return cache.preload(std::move(loaded.entries));
 }
 
 void flush_cache(const EvalCache& cache, const std::string& path,

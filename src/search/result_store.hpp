@@ -27,10 +27,17 @@ const char* store_status_name(StoreStatus s);
 /// (cache key, memoized mapping-search result) pairs as persisted.
 using StoreEntries = std::vector<std::pair<std::uint64_t, MappingSearchResult>>;
 
-/// Result of ResultStore::load / decode.
+/// Result of ResultStore::load / decode. On damage, `entries` carries the
+/// *salvageable prefix*: every segment before the first damaged one, each
+/// individually magic/version/checksum-validated. A crash-torn append
+/// therefore costs only the torn segment, never the store (the serving
+/// layer then heals the file by atomic rewrite). `entries` is empty when
+/// nothing is trustworthy — bad magic (not a store file) or a version
+/// mismatch at the first segment (every byte written by incompatible
+/// code).
 struct StoreLoadResult {
   StoreStatus status = StoreStatus::kNotFound;
-  StoreEntries entries;  ///< empty unless status == kOk
+  StoreEntries entries;  ///< all entries (kOk) or the salvageable prefix
 };
 
 /// Persistent, versioned, checksummed on-disk form of the mapping-result
@@ -57,13 +64,16 @@ struct StoreLoadResult {
 /// harmless (results are deterministic per key, and EvalCache::preload
 /// keeps the first copy).
 ///
-/// A stale (version-mismatched) or damaged (bad magic / checksum / field /
-/// truncated segment) file is *rejected as a whole*, never partially or
-/// silently reused: the caller logs the status and falls back to a cold
-/// search. Saves are atomic (tmp file + rename) and sort entries by key so
-/// identical caches produce identical bytes; appends are best-effort
-/// single-write and truncate back on failure, so a torn append degrades to
-/// a rejected store, not a wrong one.
+/// Damage is contained at segment granularity: a stale or damaged segment
+/// is never decoded (checksums gate every byte), but the intact segments
+/// *before* it are salvaged (StoreLoadResult::entries), so a crash-torn
+/// append loses the tear, not the store. The caller logs the non-kOk
+/// status, adopts the salvage, and — in the serving layer — heals the file
+/// by atomic rewrite on the next refresh. Saves are atomic (tmp file +
+/// rename) and sort entries by key so identical caches produce identical
+/// bytes; appends are best-effort single-write and truncate back on
+/// failure, so an in-process torn append degrades to a salvageable store,
+/// not a wrong one.
 class ResultStore {
  public:
   /// Bump when the serialized *layout* changes.
@@ -83,7 +93,8 @@ class ResultStore {
 
   /// Parses one or more concatenated segments produced by encode(),
   /// validating magic, version, per-segment checksum, and field ranges.
-  /// Any damaged segment rejects the whole buffer.
+  /// A damaged segment stops the parse; the returned entries are the
+  /// checksum-validated segments before it (see StoreLoadResult).
   static StoreLoadResult decode(const void* data, std::size_t size);
 
   /// Rewrites the store atomically as a single segment (also the way to

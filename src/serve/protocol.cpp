@@ -422,4 +422,16 @@ Json error_response(const Json& id, const std::string& code,
   return obj;
 }
 
+Json line_too_long_response(std::size_t max_line_bytes) {
+  return error_response(Json::null(), kErrBadRequest,
+                        "request line exceeds " +
+                            std::to_string(max_line_bytes) + " bytes");
+}
+
+Json batch_too_large_response(const Json& id, std::size_t max_batch) {
+  return error_response(id, kErrBadRequest,
+                        "batch exceeds " + std::to_string(max_batch) +
+                            " requests");
+}
+
 }  // namespace naas::serve

@@ -33,6 +33,26 @@ inline constexpr const char* kErrParse = "parse_error";
 inline constexpr const char* kErrBadRequest = "bad_request";
 inline constexpr const char* kErrUnknownMethod = "unknown_method";
 inline constexpr const char* kErrInternal = "internal_error";
+/// Admission queue full — the request was shed *before* evaluation so an
+/// overload never stalls the evaluation pool; resubmit later.
+inline constexpr const char* kErrOverloaded = "overloaded";
+/// The request's deadline ("deadline_ms" field, or the server default)
+/// expired while it sat in the admission queue; it was never evaluated.
+inline constexpr const char* kErrDeadlineExceeded = "deadline_exceeded";
+
+/// Defensive protocol limits, shared by the stdin driver and the TCP
+/// server. A request line longer than the cap is answered with a
+/// structured bad_request instead of being fed to the JSON parser; lines
+/// past the batch cap in one submission are individually rejected the same
+/// way. Both are per-front-end configurable; these are the defaults.
+inline constexpr std::size_t kDefaultMaxLineBytes = 1 << 20;
+inline constexpr std::size_t kDefaultMaxBatchRequests = 4096;
+
+/// Canonical bad_request responses for the two limits (id is null for an
+/// oversized line: extracting the id would mean parsing the very bytes the
+/// limit refuses to parse).
+Json line_too_long_response(std::size_t max_line_bytes);
+Json batch_too_large_response(const Json& id, std::size_t max_batch);
 
 /// --- domain <-> JSON -----------------------------------------------------
 /// The *_from_json parsers accept what the matching *_to_json emits plus

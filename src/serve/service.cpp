@@ -2,11 +2,14 @@
 
 #include <sys/stat.h>
 
+#include <chrono>
 #include <exception>
 #include <stdexcept>
+#include <thread>
 #include <unordered_set>
 #include <utility>
 
+#include "core/fault.hpp"
 #include "core/log.hpp"
 #include "core/serialize.hpp"
 #include "nn/model_zoo.hpp"
@@ -306,14 +309,20 @@ Json EvalService::cache_stats_json() const {
   obj.set("store_entries_reloaded",
           Json::integer(stats_.store_entries_reloaded));
   obj.set("store_rewrites", Json::integer(stats_.store_rewrites));
+  obj.set("store_refresh_retries",
+          Json::integer(stats_.store_refresh_retries));
+  obj.set("requests_shed", Json::integer(requests_shed()));
+  obj.set("requests_timed_out", Json::integer(requests_timed_out()));
+  obj.set("protocol_rejects", Json::integer(protocol_rejects()));
   obj.set("pool_threads", Json::integer(pool_.size()));
   return obj;
 }
 
 search::StoreStatus EvalService::heal_store() {
   using search::StoreStatus;
-  // Appending to a damaged file is pointless (decode rejects the whole
-  // file), so rewrite it atomically from the full cache — the same
+  // Appending to a damaged file is pointless (decode stops at the first
+  // damaged segment), so rewrite it atomically from the full cache —
+  // which includes anything the load salvaged — the same
   // recovery the search CLIs perform at exit. Whatever the damaged file
   // held is unreadable regardless; the rewrite can only restore service.
   const StoreStatus status = evaluator_.save_store(options_.store_path);
@@ -330,7 +339,30 @@ search::StoreStatus EvalService::heal_store() {
 
 search::StoreStatus EvalService::refresh() {
   using search::StoreStatus;
+  // Bounded retry with exponential backoff for *transient* failures
+  // (kIoError). Damaged-store statuses are not retried here — they are
+  // healed by rewrite on the next pass — and a healthy pass returns
+  // immediately. Backoff stays tiny (1/2/4 ms): the point is to step over
+  // a momentary failure window, not to block the serving loop.
+  constexpr int kMaxAttempts = 3;
+  StoreStatus status = StoreStatus::kOk;
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    if (attempt > 0) {
+      ++stats_.store_refresh_retries;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1 << (attempt - 1)));
+    }
+    status = refresh_once();
+    if (status != StoreStatus::kIoError) break;
+  }
+  return status;
+}
+
+search::StoreStatus EvalService::refresh_once() {
+  using search::StoreStatus;
   if (options_.store_path.empty()) return StoreStatus::kOk;
+  // Deterministic transient-failure seam for the retry/backoff tests and
+  // the fault-injection soak.
+  if (core::fault("refresh_fail")) return StoreStatus::kIoError;
   if (store_rejected() && !options_.store_readonly) return heal_store();
   // A readonly service cannot heal a damaged store itself; it falls
   // through to the reload-on-change check below so it adopts the store

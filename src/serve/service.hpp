@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <unordered_map>
@@ -41,6 +42,7 @@ struct ServiceStats {
   long long store_reloads = 0;     ///< refresh() adoptions of external writes
   long long store_entries_reloaded = 0;
   long long store_rewrites = 0;    ///< full-save heals of a rejected store
+  long long store_refresh_retries = 0;  ///< transient-failure retry attempts
 };
 
 /// Long-lived evaluator service: one warm ArchEvaluator (thread pool +
@@ -96,10 +98,25 @@ class EvalService {
   /// damaged (bad magic / version / corrupt) is *healed* instead: the
   /// next refresh rewrites it atomically from the full cache, restoring
   /// warm-start for future processes rather than appending to a dead
-  /// file forever. Returns the first non-kOk status encountered (the
-  /// service keeps running cold-for-the-miss either way; a failed append
-  /// retries the same entries on the next refresh).
+  /// file forever. Transient failures (kIoError — a full disk, an
+  /// injected write fault) are retried in place with bounded exponential
+  /// backoff (metered as store_refresh_retries) before the remaining
+  /// entries are left for the next refresh. Returns the first non-kOk
+  /// status of the last attempt (the service keeps running
+  /// cold-for-the-miss either way).
   search::StoreStatus refresh();
+
+  /// Front-end notification hooks: requests rejected *before* evaluation
+  /// (admission-queue shed, expired deadline, protocol-limit reject) never
+  /// pass through handle_batch, but cache_stats must still report them.
+  /// Thread-safe — the TCP front end sheds on its net thread while the
+  /// eval thread serves.
+  void note_shed() { requests_shed_.fetch_add(1); }
+  void note_timeout() { requests_timed_out_.fetch_add(1); }
+  void note_protocol_reject() { protocol_rejects_.fetch_add(1); }
+  long long requests_shed() const { return requests_shed_.load(); }
+  long long requests_timed_out() const { return requests_timed_out_.load(); }
+  long long protocol_rejects() const { return protocol_rejects_.load(); }
 
   const search::ArchEvaluator& evaluator() const { return evaluator_; }
   const ServiceStats& stats() const { return stats_; }
@@ -148,7 +165,12 @@ class EvalService {
     return rejected_status_ != search::StoreStatus::kOk;
   }
   search::StoreStatus heal_store();
+  /// One append-then-reload refresh pass (refresh() adds the retry loop).
+  search::StoreStatus refresh_once();
   std::unordered_map<std::string, nn::Network> network_memo_;
+  std::atomic<long long> requests_shed_{0};
+  std::atomic<long long> requests_timed_out_{0};
+  std::atomic<long long> protocol_rejects_{0};
   /// Serialized search_mapping result payloads by work-unit key. Results
   /// are deterministic and immutable per key (store reloads never change
   /// an answer), so the memo needs no invalidation; it turns a warm query

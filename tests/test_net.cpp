@@ -1,0 +1,225 @@
+#include "net/socket.hpp"
+
+#include <gtest/gtest.h>
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <string>
+
+#include "core/fault.hpp"
+#include "net/client.hpp"
+#include "net/poller.hpp"
+
+namespace naas {
+namespace {
+
+using core::ScopedFaults;
+using net::Fd;
+using net::IoStatus;
+using net::LineClient;
+using net::TcpListener;
+
+/// Listener + one accepted connection, the fixture for every socket test.
+struct Pair {
+  TcpListener listener;
+  Fd server_side;
+  LineClient client;
+
+  bool open() {
+    std::string err;
+    if (!listener.listen("127.0.0.1", 0, 4, &err)) {
+      ADD_FAILURE() << err;
+      return false;
+    }
+    if (!client.connect("127.0.0.1", listener.port(), 2000, &err)) {
+      ADD_FAILURE() << err;
+      return false;
+    }
+    // The connect has completed, so the accept is already pending; poll
+    // bounds the wait instead of spinning.
+    for (int i = 0; i < 200 && !server_side.valid(); ++i) {
+      ::pollfd p{listener.fd(), POLLIN, 0};
+      ::poll(&p, 1, 10);
+      server_side = listener.accept_one();
+    }
+    if (!server_side.valid()) ADD_FAILURE() << "accept timed out";
+    return server_side.valid();
+  }
+};
+
+std::string read_all(int fd, std::size_t expect) {
+  std::string out;
+  char buf[256];
+  for (int spins = 0; out.size() < expect && spins < 2000; ++spins) {
+    const net::IoResult r = net::read_some(fd, buf, sizeof(buf));
+    if (r.status == IoStatus::kOk) {
+      out.append(buf, r.bytes);
+    } else if (r.status == IoStatus::kWouldBlock) {
+      ::pollfd p{fd, POLLIN, 0};
+      ::poll(&p, 1, 10);
+    } else {
+      break;
+    }
+  }
+  return out;
+}
+
+TEST(Net, FdMoveSemantics) {
+  int raw[2];
+  ASSERT_EQ(::pipe(raw), 0);
+  Fd a(raw[0]);
+  Fd b(raw[1]);
+  EXPECT_TRUE(a.valid());
+  Fd moved = std::move(a);
+  EXPECT_FALSE(a.valid());  // NOLINT(bugprone-use-after-move): the contract
+  EXPECT_TRUE(moved.valid());
+  const int released = b.release();
+  EXPECT_FALSE(b.valid());
+  ::close(released);
+}
+
+TEST(Net, ListenerReportsEphemeralPort) {
+  TcpListener listener;
+  std::string err;
+  ASSERT_TRUE(listener.listen("127.0.0.1", 0, 4, &err)) << err;
+  EXPECT_GT(listener.port(), 0);
+  EXPECT_TRUE(listener.listening());
+  listener.close();
+  EXPECT_FALSE(listener.listening());
+}
+
+TEST(Net, ConnectToClosedPortFails) {
+  // Bind-then-close guarantees a port that refuses connections.
+  TcpListener listener;
+  std::string err;
+  ASSERT_TRUE(listener.listen("127.0.0.1", 0, 4, &err)) << err;
+  const int port = listener.port();
+  listener.close();
+  LineClient client;
+  EXPECT_FALSE(client.connect("127.0.0.1", port, 500, &err));
+  EXPECT_FALSE(err.empty());
+}
+
+TEST(Net, RoundTripThroughAcceptedSocket) {
+  Pair pair;
+  ASSERT_TRUE(pair.open());
+  ASSERT_TRUE(pair.client.send_line("hello"));
+  EXPECT_EQ(read_all(pair.server_side.get(), 6), "hello\n");
+
+  const std::string reply = "world\n";
+  std::size_t sent = 0;
+  while (sent < reply.size()) {
+    const net::IoResult r = net::write_some(
+        pair.server_side.get(), reply.data() + sent, reply.size() - sent);
+    ASSERT_NE(r.status, IoStatus::kError);
+    if (r.status == IoStatus::kOk) sent += r.bytes;
+  }
+  std::string line;
+  ASSERT_TRUE(pair.client.read_line(&line, 2000));
+  EXPECT_EQ(line, "world");
+}
+
+TEST(Net, ReadSeesEofAfterClientClose) {
+  Pair pair;
+  ASSERT_TRUE(pair.open());
+  pair.client.close();
+  char buf[16];
+  net::IoResult r{IoStatus::kWouldBlock, 0};
+  for (int i = 0; i < 200 && r.status == IoStatus::kWouldBlock; ++i) {
+    r = net::read_some(pair.server_side.get(), buf, sizeof(buf));
+    if (r.status == IoStatus::kWouldBlock) {
+      ::pollfd p{pair.server_side.get(), POLLIN, 0};
+      ::poll(&p, 1, 10);
+    }
+  }
+  EXPECT_EQ(r.status, IoStatus::kEof);
+}
+
+TEST(Net, InjectedShortReadsStillDeliverEveryByte) {
+  Pair pair;
+  ASSERT_TRUE(pair.open());
+  ScopedFaults faults("seed=3,sock_read_short=1");
+  ASSERT_TRUE(pair.client.send_line("abcdefgh"));
+  // Every read is truncated to one byte; the loop above must still
+  // assemble the full payload — the server's framing code path under a
+  // pathologically dribbling kernel.
+  EXPECT_EQ(read_all(pair.server_side.get(), 9), "abcdefgh\n");
+}
+
+TEST(Net, InjectedEintrSurfacesAsWouldBlock) {
+  Pair pair;
+  ASSERT_TRUE(pair.open());
+  ScopedFaults faults("sock_read_eintr=1@1");
+  ASSERT_TRUE(pair.client.send_line("x"));
+  char buf[16];
+  // First consultation fires: kWouldBlock without consuming anything.
+  EXPECT_EQ(net::read_some(pair.server_side.get(), buf, sizeof(buf)).status,
+            IoStatus::kWouldBlock);
+  EXPECT_EQ(read_all(pair.server_side.get(), 2), "x\n");
+}
+
+TEST(Net, InjectedResetSurfacesAsError) {
+  Pair pair;
+  ASSERT_TRUE(pair.open());
+  ScopedFaults faults("sock_read_reset=1@1");
+  char buf[16];
+  EXPECT_EQ(net::read_some(pair.server_side.get(), buf, sizeof(buf)).status,
+            IoStatus::kError);
+}
+
+TEST(Net, InjectedWriteStallSurfacesAsWouldBlock) {
+  Pair pair;
+  ASSERT_TRUE(pair.open());
+  ScopedFaults faults("sock_write_stall=1@1");
+  const char byte = 'y';
+  EXPECT_EQ(net::write_some(pair.server_side.get(), &byte, 1).status,
+            IoStatus::kWouldBlock);
+  EXPECT_EQ(net::write_some(pair.server_side.get(), &byte, 1).status,
+            IoStatus::kOk);
+}
+
+TEST(Net, PollerReportsReadinessPerFd) {
+  Pair pair;
+  ASSERT_TRUE(pair.open());
+  net::Poller poller;
+  poller.clear();
+  poller.add(pair.server_side.get(), /*want_read=*/true, /*want_write=*/true);
+  ASSERT_GT(poller.wait(1000), 0);
+  EXPECT_TRUE(poller.writable(pair.server_side.get()));  // empty send buffer
+  EXPECT_FALSE(poller.readable(pair.server_side.get()));
+
+  ASSERT_TRUE(pair.client.send_line("ping"));
+  for (int i = 0; i < 200; ++i) {
+    poller.clear();
+    poller.add(pair.server_side.get(), true, false);
+    if (poller.wait(10) > 0) break;
+  }
+  EXPECT_TRUE(poller.readable(pair.server_side.get()));
+  // An fd the poller never registered is reported unready, not poked.
+  EXPECT_FALSE(poller.readable(12345));
+}
+
+TEST(Net, ClientReadLineSplitsPipelinedResponses) {
+  Pair pair;
+  ASSERT_TRUE(pair.open());
+  const std::string two = "first\nsecond\n";
+  std::size_t sent = 0;
+  while (sent < two.size()) {
+    const net::IoResult r = net::write_some(pair.server_side.get(),
+                                            two.data() + sent,
+                                            two.size() - sent);
+    ASSERT_NE(r.status, IoStatus::kError);
+    if (r.status == IoStatus::kOk) sent += r.bytes;
+  }
+  std::string line;
+  ASSERT_TRUE(pair.client.read_line(&line, 2000));
+  EXPECT_EQ(line, "first");
+  ASSERT_TRUE(pair.client.read_line(&line, 2000));
+  EXPECT_EQ(line, "second");
+  EXPECT_FALSE(pair.client.read_line(&line, 50));  // nothing more: timeout
+  EXPECT_FALSE(pair.client.eof());
+}
+
+}  // namespace
+}  // namespace naas

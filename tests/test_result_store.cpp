@@ -306,13 +306,23 @@ TEST(ResultStore, DuplicateKeysAcrossSegmentsKeepFirstCopy) {
   std::remove(path.c_str());
 }
 
-TEST(ResultStore, RejectsCorruptLaterSegment) {
-  // A flipped byte in any appended segment rejects the whole file — a
-  // partially-valid store is never served.
+TEST(ResultStore, SalvagesPrefixBeforeCorruptLaterSegment) {
+  // A flipped byte in an appended segment rejects the file (kCorrupt) but
+  // salvages the checksum-validated segments before it: a torn or damaged
+  // append costs the tear, never the store.
   std::string bytes = encode_single_entry_store();
   const std::size_t second_start = bytes.size();
   bytes += encode_single_entry_store();
   bytes[second_start + 30] ^= 0x40;
+  const auto loaded = search::ResultStore::decode(bytes.data(), bytes.size());
+  EXPECT_EQ(loaded.status, search::StoreStatus::kCorrupt);
+  ASSERT_EQ(loaded.entries.size(), 1u);
+}
+
+TEST(ResultStore, SalvagesNothingFromCorruptFirstSegment) {
+  // Damage in the *first* segment leaves no validated prefix to adopt.
+  std::string bytes = encode_single_entry_store();
+  bytes[30] ^= 0x40;
   const auto loaded = search::ResultStore::decode(bytes.data(), bytes.size());
   EXPECT_EQ(loaded.status, search::StoreStatus::kCorrupt);
   EXPECT_TRUE(loaded.entries.empty());
