@@ -63,7 +63,7 @@ void reproduce_ablation(const bench::Budget& budget) {
 void BM_GrowToFitDecode(benchmark::State& state) {
   search::MapEncodingSpec spec;
   const auto arch = arch::eyeriss_arch();
-  const nn::ConvLayer layer = nn::make_conv("c", 128, 128, 3, 1, 28);
+  const nn::Workload layer = nn::make_conv("c", 128, 128, 3, 1, 28);
   std::vector<double> genome(static_cast<std::size_t>(spec.genome_size()),
                              0.4);
   for (auto _ : state) {
@@ -77,7 +77,7 @@ void BM_RawDecode(benchmark::State& state) {
   search::MapEncodingSpec spec;
   spec.grow_tiles = false;
   const auto arch = arch::eyeriss_arch();
-  const nn::ConvLayer layer = nn::make_conv("c", 128, 128, 3, 1, 28);
+  const nn::Workload layer = nn::make_conv("c", 128, 128, 3, 1, 28);
   std::vector<double> genome(static_cast<std::size_t>(spec.genome_size()),
                              0.4);
   for (auto _ : state) {

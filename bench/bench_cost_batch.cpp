@@ -25,7 +25,7 @@ using namespace naas;
 /// Bench layer set: the shapes that dominate the paper's benchmark
 /// networks (early 3x3 conv, mid 1x1 pointwise, depthwise, strided conv,
 /// late FC).
-std::vector<nn::ConvLayer> bench_layers() {
+std::vector<nn::Workload> bench_layers() {
   return {
       nn::make_conv("conv3x3", 64, 128, 3, 1, 28),
       nn::make_conv("conv1x1", 256, 256, 1, 1, 14),
@@ -41,7 +41,7 @@ std::vector<nn::ConvLayer> bench_layers() {
 /// on the evaluable region, so the struct-of-arrays pass runs end to end).
 std::vector<mapping::Mapping> make_candidates(core::Rng& rng,
                                               const arch::ArchConfig& arch,
-                                              const nn::ConvLayer& layer,
+                                              const nn::Workload& layer,
                                               int count) {
   std::vector<nn::Dim> dims;
   for (nn::Dim d : nn::all_dims()) dims.push_back(d);
@@ -80,7 +80,7 @@ std::string serialize_report(const cost::CostReport& r) {
 }
 
 struct Workload {
-  nn::ConvLayer layer;
+  nn::Workload layer;
   std::vector<mapping::Mapping> candidates;
   cost::LayerContext ctx;
 };
@@ -123,7 +123,7 @@ void reproduce_cost_batch() {
   constexpr int kCandidatesPerLayer = 192;  // divisible by 64, 8, and 1
 
   std::vector<Workload> work;
-  for (const nn::ConvLayer& layer : bench_layers())
+  for (const nn::Workload& layer : bench_layers())
     work.push_back({layer,
                     make_candidates(rng, arch, layer, kCandidatesPerLayer),
                     model.make_context(arch, layer)});
@@ -228,7 +228,7 @@ void reproduce_cost_batch() {
 void BM_EvaluateScalar(benchmark::State& state) {
   const cost::CostModel model;
   const arch::ArchConfig arch = arch::nvdla_256_arch();
-  const nn::ConvLayer layer = nn::make_conv("c", 64, 128, 3, 1, 28);
+  const nn::Workload layer = nn::make_conv("c", 64, 128, 3, 1, 28);
   core::Rng rng(1);
   const auto cands = make_candidates(rng, arch, layer, 64);
   for (auto _ : state) {
@@ -245,7 +245,7 @@ BENCHMARK(BM_EvaluateScalar)->Unit(benchmark::kMicrosecond);
 void BM_EvaluateBatch(benchmark::State& state) {
   const cost::CostModel model;
   const arch::ArchConfig arch = arch::nvdla_256_arch();
-  const nn::ConvLayer layer = nn::make_conv("c", 64, 128, 3, 1, 28);
+  const nn::Workload layer = nn::make_conv("c", 64, 128, 3, 1, 28);
   core::Rng rng(1);
   const auto cands = make_candidates(rng, arch, layer, 64);
   const cost::LayerContext ctx = model.make_context(arch, layer);

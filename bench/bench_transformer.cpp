@@ -1,0 +1,261 @@
+// Transformer workload smoke: the matmul/attention kinds through the full
+// stack — batch==scalar bit-identity on BERT/ViT/LLM-decode layer shapes,
+// network evaluation of the three transformer zoo families, and
+// warm-start-from-store bit-identity with zero mapping searches. Emits
+// BENCH_transformer.json; CI asserts batch_identical_to_scalar and
+// warm_zero_searches.
+
+#include "bench_common.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "core/serialize.hpp"
+#include "core/timer.hpp"
+#include "mapping/canonical.hpp"
+#include "mapping/legality.hpp"
+
+namespace {
+
+using namespace naas;
+
+/// The unique dense shapes of the transformer zoo: a BERT-base block at
+/// seq 128, the ViT-B/16 patch embed (the conv bridge), and LLaMA-7B-class
+/// decode slices against a 2k KV cache.
+std::vector<nn::Workload> transformer_layers() {
+  return {
+      nn::make_matmul("bert_qkv_proj", 128, 768, 768),
+      nn::make_matmul("bert_ffn_up", 128, 768, 3072),
+      nn::make_attention_scores("bert_attn_qk", 128, 128, 64, 12),
+      nn::make_attention_context("bert_attn_av", 128, 128, 64, 12),
+      nn::make_conv("vit_patch_embed", 3, 768, 16, 16, 14),
+      nn::make_matmul("llm_q_proj", 1, 4096, 4096),
+      nn::make_attention_scores("llm_attn_qk", 1, 2048, 128, 32),
+      nn::make_attention_context("llm_attn_av", 1, 2048, 128, 32),
+      nn::make_matmul("llm_ffn_up", 1, 4096, 11008),
+  };
+}
+
+std::vector<mapping::Mapping> make_candidates(core::Rng& rng,
+                                              const arch::ArchConfig& arch,
+                                              const nn::Workload& layer,
+                                              int count) {
+  std::vector<nn::Dim> dims;
+  for (nn::Dim d : nn::all_dims()) dims.push_back(d);
+  std::vector<mapping::Mapping> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    mapping::Mapping m;
+    rng.shuffle(dims);
+    for (std::size_t p = 0; p < dims.size(); ++p) m.dram.order[p] = dims[p];
+    rng.shuffle(dims);
+    for (std::size_t p = 0; p < dims.size(); ++p) m.pe.order[p] = dims[p];
+    rng.shuffle(dims);
+    for (std::size_t p = 0; p < dims.size(); ++p) m.pe_order[p] = dims[p];
+    for (nn::Dim d : nn::all_dims())
+      mapping::set_tile(m.dram.tile, d,
+                        rng.uniform_int(1, layer.dim_size(d)));
+    for (nn::Dim d : nn::all_dims())
+      mapping::set_tile(m.pe.tile, d, 1);
+    out.push_back(mapping::repair(m, layer, arch));
+  }
+  return out;
+}
+
+std::string serialize_report(const cost::CostReport& r) {
+  core::ByteWriter w;
+  w.u8(r.legal ? 1 : 0);
+  w.str(r.illegal_reason);
+  for (double v : {r.macs, r.compute_cycles, r.noc_cycles, r.dram_cycles,
+                   r.latency_cycles, r.energy.mac_pj, r.energy.l1_pj,
+                   r.energy.l2_pj, r.energy.noc_pj, r.energy.dram_pj,
+                   r.energy_nj, r.edp, r.pe_utilization, r.dram_bytes,
+                   r.l2_read_bytes, r.l2_write_bytes, r.l1_access_bytes,
+                   r.noc_delivery_bytes, r.reduction_hop_bytes})
+    w.f64(v);
+  return w.bytes();
+}
+
+/// Batch==scalar bit-identity across every transformer layer shape.
+bool check_batch_identity(const cost::CostModel& model,
+                          const arch::ArchConfig& arch) {
+  core::Rng rng(static_cast<std::uint64_t>(core::env_int("NAAS_BENCH_SEED",
+                                                         1)));
+  bool identical = true;
+  for (const nn::Workload& layer : transformer_layers()) {
+    const auto cands = make_candidates(rng, arch, layer, 96);
+    std::vector<std::string> scalar;
+    for (const auto& m : cands)
+      scalar.push_back(serialize_report(model.evaluate(arch, layer, m)));
+    const cost::LayerContext ctx = model.make_context(arch, layer);
+    for (std::size_t bs : {std::size_t{1}, std::size_t{8}, std::size_t{32}}) {
+      std::vector<cost::CostReport> reports(cands.size());
+      for (std::size_t lo = 0; lo < cands.size(); lo += bs) {
+        const std::size_t len = std::min(bs, cands.size() - lo);
+        model.evaluate_batch(
+            ctx, std::span<const mapping::Mapping>(cands).subspan(lo, len),
+            std::span<cost::CostReport>(reports).subspan(lo, len));
+      }
+      for (std::size_t i = 0; i < reports.size(); ++i)
+        if (serialize_report(reports[i]) != scalar[i]) identical = false;
+    }
+  }
+  return identical;
+}
+
+struct NetRow {
+  std::string name;
+  int layers = 0;
+  int unique_searches = 0;
+  double edp = 0;
+  double latency = 0;
+  double wall_cold_s = 0;
+  double wall_warm_s = 0;
+  bool warm_zero_searches = false;
+  bool warm_bit_identical = false;
+};
+
+void reproduce_transformer() {
+  bench::print_header(
+      "Transformer workloads: matmul/attention through the full stack");
+
+  const cost::CostModel model;
+  const arch::ArchConfig arch = arch::nvdla_256_arch();
+  const bool identical = check_batch_identity(model, arch);
+  std::printf("batch == scalar on transformer shapes: %s\n\n",
+              identical ? "bit-identical" : "MISMATCH (BUG)");
+
+  const bench::Budget budget = bench::Budget::from_env();
+  search::MappingSearchOptions mopts;
+  mopts.population = budget.map_population;
+  mopts.iterations = budget.map_iterations;
+  mopts.seed = budget.seed;
+
+  const char* zoo[] = {"bert_base_encoder", "vit_b16_encoder", "llm_decode"};
+  std::vector<NetRow> rows;
+  for (const char* name : zoo) {
+    const nn::Network net = nn::make_network(name);
+    const std::string store = std::string("BENCH_transformer_") + name +
+                              ".store.bin";
+    std::remove(store.c_str());
+    NetRow row;
+    row.name = name;
+    row.layers = net.num_layers();
+
+    core::Timer cold_timer;
+    search::ArchEvaluator cold(model, mopts);
+    const cost::NetworkCost cold_cost = cold.evaluate(arch, net);
+    row.wall_cold_s = cold_timer.seconds();
+    row.unique_searches = static_cast<int>(cold.mapping_searches());
+    row.edp = cold_cost.edp;
+    row.latency = cold_cost.latency_cycles;
+    search::flush_to_store(cold, store, /*readonly=*/false);
+
+    core::Timer warm_timer;
+    search::ArchEvaluator warm(model, mopts);
+    search::warm_start_from_store(warm, store);
+    const cost::NetworkCost warm_cost = warm.evaluate(arch, net);
+    row.wall_warm_s = warm_timer.seconds();
+    row.warm_zero_searches = warm.mapping_searches() == 0;
+    row.warm_bit_identical =
+        warm_cost.edp == cold_cost.edp &&
+        warm_cost.latency_cycles == cold_cost.latency_cycles &&
+        warm_cost.energy_nj == cold_cost.energy_nj;
+    std::remove(store.c_str());
+    rows.push_back(row);
+  }
+
+  core::Table t({"Network", "Layers", "Unique searches", "EDP",
+                 "Warm zero-search", "Warm bit-identical"});
+  for (const NetRow& r : rows)
+    t.add_row({r.name, core::Table::fmt_int(r.layers),
+               core::Table::fmt_int(r.unique_searches),
+               core::Table::fmt_sci(r.edp),
+               r.warm_zero_searches ? "yes" : "NO (BUG)",
+               r.warm_bit_identical ? "yes" : "NO (BUG)"});
+  std::printf("%s\n", t.to_string().c_str());
+
+  bool warm_zero = true, warm_identical = true;
+  for (const NetRow& r : rows) {
+    warm_zero = warm_zero && r.warm_zero_searches;
+    warm_identical = warm_identical && r.warm_bit_identical;
+  }
+
+  FILE* f = std::fopen("BENCH_transformer.json", "w");
+  if (!f) {
+    std::printf("could not open BENCH_transformer.json for writing\n");
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"transformer\",\n");
+  std::fprintf(f, "  \"arch\": \"%s\",\n", arch.name.c_str());
+  std::fprintf(f, "  \"batch_identical_to_scalar\": %s,\n",
+               identical ? "true" : "false");
+  std::fprintf(f, "  \"warm_zero_searches\": %s,\n",
+               warm_zero ? "true" : "false");
+  std::fprintf(f, "  \"warm_bit_identical\": %s,\n",
+               warm_identical ? "true" : "false");
+  std::fprintf(f, "  \"networks\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const NetRow& r = rows[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"layers\": %d, "
+                 "\"unique_searches\": %d, \"edp\": %.6e, "
+                 "\"latency_cycles\": %.6e, \"wall_cold_s\": %.3f, "
+                 "\"wall_warm_s\": %.3f}%s\n",
+                 r.name.c_str(), r.layers, r.unique_searches, r.edp,
+                 r.latency, r.wall_cold_s, r.wall_warm_s,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote BENCH_transformer.json\n");
+}
+
+void BM_EvaluateBatchAttentionDecode(benchmark::State& state) {
+  // The bandwidth-dominated shape: one query token against a 2k KV cache.
+  const cost::CostModel model;
+  const arch::ArchConfig arch = arch::nvdla_256_arch();
+  const nn::Workload layer =
+      nn::make_attention_scores("qk", 1, 2048, 128, 32);
+  core::Rng rng(1);
+  const auto cands = make_candidates(rng, arch, layer, 64);
+  const cost::LayerContext ctx = model.make_context(arch, layer);
+  std::vector<cost::CostReport> reports(cands.size());
+  for (auto _ : state) {
+    model.evaluate_batch(ctx, cands, reports);
+    benchmark::DoNotOptimize(reports.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long long>(cands.size()));
+}
+BENCHMARK(BM_EvaluateBatchAttentionDecode)->Unit(benchmark::kMicrosecond);
+
+void BM_EvaluateBatchBertMatmul(benchmark::State& state) {
+  const cost::CostModel model;
+  const arch::ArchConfig arch = arch::nvdla_256_arch();
+  const nn::Workload layer = nn::make_matmul("ffn", 128, 768, 3072);
+  core::Rng rng(1);
+  const auto cands = make_candidates(rng, arch, layer, 64);
+  const cost::LayerContext ctx = model.make_context(arch, layer);
+  std::vector<cost::CostReport> reports(cands.size());
+  for (auto _ : state) {
+    model.evaluate_batch(ctx, cands, reports);
+    benchmark::DoNotOptimize(reports.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long long>(cands.size()));
+}
+BENCHMARK(BM_EvaluateBatchBertMatmul)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  reproduce_transformer();
+  return naas::bench::run_microbenchmarks(argc, argv);
+}

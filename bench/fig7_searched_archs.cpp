@@ -30,7 +30,7 @@ void show_search(const cost::CostModel& model, const bench::Budget& budget,
 
   // Show the searched mapping for the network's largest layer.
   const auto unique = net.unique_layers();
-  const nn::ConvLayer* biggest = &unique.front().first;
+  const nn::Workload* biggest = &unique.front().first;
   for (const auto& [layer, count] : unique)
     if (layer.macs() > biggest->macs()) biggest = &layer;
   search::MappingSearchOptions mopts;
@@ -61,7 +61,7 @@ void reproduce_fig7(const bench::Budget& budget) {
 void BM_MappingSearchOneLayer(benchmark::State& state) {
   const cost::CostModel model;
   const auto arch = arch::eyeriss_arch();
-  const nn::ConvLayer layer = nn::make_conv("c", 128, 256, 3, 1, 28);
+  const nn::Workload layer = nn::make_conv("c", 128, 256, 3, 1, 28);
   for (auto _ : state) {
     search::MappingSearchOptions opts;
     opts.population = 8;

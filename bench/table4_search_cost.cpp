@@ -123,7 +123,7 @@ void reproduce_table4(const bench::Budget& budget) {
 void BM_CostModelEvaluation(benchmark::State& state) {
   const cost::CostModel model;
   const auto arch = arch::nvdla_256_arch();
-  const nn::ConvLayer layer = nn::make_conv("c", 128, 256, 3, 1, 28);
+  const nn::Workload layer = nn::make_conv("c", 128, 256, 3, 1, 28);
   const auto m = mapping::canonical_mapping(arch, layer);
   for (auto _ : state) {
     const auto rep = model.evaluate(arch, layer, m);

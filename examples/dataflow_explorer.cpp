@@ -19,7 +19,7 @@ namespace {
 
 using namespace naas;
 
-nn::ConvLayer pick_layer(const std::string& name) {
+nn::Workload pick_layer(const std::string& name) {
   if (name == "conv1x1") return nn::make_conv("conv1x1", 256, 256, 1, 1, 14);
   if (name == "dwconv") return nn::make_dwconv("dwconv", 96, 3, 1, 56);
   if (name == "fc") return nn::make_fc("fc", 2048, 1000);
@@ -30,7 +30,7 @@ nn::ConvLayer pick_layer(const std::string& name) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const nn::ConvLayer layer = pick_layer(argc > 1 ? argv[1] : "conv3x3");
+  const nn::Workload layer = pick_layer(argc > 1 ? argv[1] : "conv3x3");
   std::printf("layer: %s\n\n", layer.to_string().c_str());
 
   const cost::CostModel model;

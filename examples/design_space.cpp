@@ -61,10 +61,10 @@ int main() {
   const cost::CostModel model;
   // Small enough that no dimension saturates the 12..16-wide arrays —
   // doubling a workload dim then visibly moves the resource it loads.
-  const nn::ConvLayer base = nn::make_conv("base", 8, 8, 3, 1, 8);
+  const nn::Workload base = nn::make_conv("base", 8, 8, 3, 1, 8);
   struct Variant {
     const char* name;
-    nn::ConvLayer layer;
+    nn::Workload layer;
   };
   const Variant variants[] = {
       {"Input channels", nn::make_conv("c2", 16, 8, 3, 1, 8)},
@@ -77,7 +77,7 @@ int main() {
             "L2 occupancy"});
   for (const auto& arch : {arch::nvdla_256_arch(), arch::eyeriss_arch()}) {
     const char* tag = arch.name == "NVDLA-256" ? "N" : "E";
-    auto probe = [&](const nn::ConvLayer& l) {
+    auto probe = [&](const nn::Workload& l) {
       const auto m = mapping::canonical_mapping(arch, l);
       const auto rep = model.evaluate(arch, l, m);
       // Row/col pressure: active extent along each axis.

@@ -30,9 +30,12 @@ run_bench() {
 
 # The scaling bench writes BENCH_parallel.json and BENCH_warm_start.json
 # itself, the serving bench BENCH_serve.json, the batched-cost-model bench
-# BENCH_cost_batch.json, the async-pipeline bench BENCH_async.json; table4
-# prints the serial-vs-parallel and cold-vs-warm comparisons.
+# BENCH_cost_batch.json, the async-pipeline bench BENCH_async.json, the
+# transformer smoke BENCH_transformer.json (batch==scalar and warm
+# zero-search asserted on matmul/attention workloads); table4 prints the
+# serial-vs-parallel and cold-vs-warm comparisons.
 run_bench bench_cost_batch
+run_bench bench_transformer
 run_bench bench_async_pipeline
 run_bench bench_parallel_scaling
 run_bench bench_serve_throughput

@@ -21,10 +21,10 @@ namespace {
 constexpr std::uint64_t kNasaicKeyTag = 0x6e61736169632e31ULL;  // "nasaic.1"
 
 std::uint64_t nasaic_key(const arch::ArchConfig& ip,
-                         const nn::ConvLayer& layer) {
+                         const nn::Workload& layer) {
   std::uint64_t h = kNasaicKeyTag;
   h = core::hash_mix(h, search::arch_fingerprint(ip));
-  h = core::hash_mix(h, nn::ConvLayerShapeHash{}(layer));
+  h = core::hash_mix(h, nn::LayerShapeHash{}(layer));
   return h;
 }
 
@@ -88,7 +88,7 @@ NasaicResult run_nasaic(const cost::CostModel& model, const nn::Network& net,
   search::EvalCache cache;
   search::warm_start_cache(cache, options.cache_path);
   const auto cached_eval = [&](const arch::ArchConfig& ip,
-                               const nn::ConvLayer& layer)
+                               const nn::Workload& layer)
       -> const cost::CostReport& {
     const std::uint64_t key = nasaic_key(ip, layer);
     if (const auto* hit = cache.find(key)) return hit->report;

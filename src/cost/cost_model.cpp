@@ -307,7 +307,11 @@ bool stage_geometry(const LayerContext& ctx, const mapping::Mapping& m,
     const long long in_ch = ctx.depthwise ? tk : tc;
     const long long fi = tn * in_ch * in_rows * in_cols *
                          mapping::kBytesPerElement;
-    const long long fw = tk * tc * tr * ts * mapping::kBytesPerElement;
+    // Attention's weight operand is batch-indexed (see KindSemantics), so
+    // its tile scales with the batch tile; every other kind multiplies by 1
+    // and stays integer-identical to the pre-refactor formula.
+    const long long fw = (ctx.batched_weight ? tn : 1) * tk * tc * tr * ts *
+                         mapping::kBytesPerElement;
     const long long fo = tn * tk * typ * txp * mapping::kBytesPerElement;
     *in = static_cast<double>(fi);
     *w = static_cast<double>(fw);
@@ -583,7 +587,7 @@ void CostModel::evaluate_batch(const LayerContext& ctx,
 }
 
 CostReport CostModel::evaluate(const arch::ArchConfig& arch,
-                               const nn::ConvLayer& layer,
+                               const nn::Workload& layer,
                                const mapping::Mapping& m) const {
   // The scalar path is the batch path at size one: same legality sequence,
   // same arithmetic, same rounding — there is exactly one implementation.

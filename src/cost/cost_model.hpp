@@ -71,14 +71,14 @@ class CostModel {
   /// Evaluates `mapping` for `layer` on `arch`. Illegal mappings yield
   /// legal=false and edp=+inf; callers that want a best-effort number
   /// should mapping::repair first.
-  CostReport evaluate(const arch::ArchConfig& arch, const nn::ConvLayer& layer,
+  CostReport evaluate(const arch::ArchConfig& arch, const nn::Workload& layer,
                       const mapping::Mapping& mapping) const;
 
   /// Precomputes the per-(arch, layer) invariants for `evaluate_batch`
   /// under this model's energy parameters. Build once per generation (or
   /// per mapping search) and reuse across batches.
   LayerContext make_context(const arch::ArchConfig& arch,
-                            const nn::ConvLayer& layer) const {
+                            const nn::Workload& layer) const {
     return LayerContext(arch, layer, energy_);
   }
 

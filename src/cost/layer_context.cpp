@@ -7,30 +7,32 @@
 namespace naas::cost {
 namespace {
 
-/// Resolves the input_axis_multiplier switch for a fixed axis binding.
-AxisInputKind classify_input_axis(nn::Dim d, bool depthwise) {
+/// Resolves the input_axis_multiplier switch for a fixed axis binding,
+/// reading the per-kind semantics table: dims outside the kind's input mask
+/// broadcast (kOne); spatial/kernel dims inside it use the sliding-window
+/// halo forms; everything else unicasts. For matmul/attention the mask
+/// drops X'/R/S, so those axes classify as kOne and Y' keeps the halo form,
+/// which degenerates to the exact row-partition ratio at kernel=stride=1.
+AxisInputKind classify_input_axis(nn::Dim d, nn::LayerKind kind) {
+  if (!is_relevant(Tensor::kInput, d, kind)) return AxisInputKind::kOne;
   switch (d) {
-    case nn::Dim::kN: return AxisInputKind::kUsed;
-    case nn::Dim::kK:
-      return depthwise ? AxisInputKind::kUsed : AxisInputKind::kOne;
-    case nn::Dim::kC:
-      return depthwise ? AxisInputKind::kOne : AxisInputKind::kUsed;
     case nn::Dim::kYp: return AxisInputKind::kHaloYp;
     case nn::Dim::kXp: return AxisInputKind::kHaloXp;
     case nn::Dim::kR: return AxisInputKind::kHaloR;
     case nn::Dim::kS: return AxisInputKind::kHaloS;
+    default: return AxisInputKind::kUsed;
   }
-  return AxisInputKind::kUsed;
 }
 
 }  // namespace
 
 LayerContext::LayerContext(const arch::ArchConfig& arch,
-                           const nn::ConvLayer& layer,
+                           const nn::Workload& layer,
                            const EnergyModel& energy) {
   arch_valid = arch.valid();
   kind = layer.kind;
   depthwise = kind == nn::LayerKind::kDepthwiseConv;
+  batched_weight = semantics(kind).batched_weight;
   stride = layer.stride;
   for (nn::Dim d : nn::all_dims())
     dim_size[static_cast<std::size_t>(static_cast<int>(d))] =
@@ -57,7 +59,7 @@ LayerContext::LayerContext(const arch::ArchConfig& arch,
       ax.dim = arch.parallel_dims[static_cast<std::size_t>(a)];
       ax.dim_index = static_cast<std::size_t>(static_cast<int>(ax.dim));
       ax.size = arch.array_dims[static_cast<std::size_t>(a)];
-      ax.input_kind = classify_input_axis(ax.dim, depthwise);
+      ax.input_kind = classify_input_axis(ax.dim, kind);
       ax.weight_relevant = is_relevant(Tensor::kWeight, ax.dim, kind);
       ax.output_relevant = is_relevant(Tensor::kOutput, ax.dim, kind);
       ax.reduction = !ax.output_relevant && is_reduction(ax.dim, kind);

@@ -48,7 +48,7 @@ struct AxisContext {
 struct LayerContext {
   /// Binds (arch, layer) under `energy`'s coefficients. Prefer
   /// CostModel::make_context, which passes the model's energy parameters.
-  LayerContext(const arch::ArchConfig& arch, const nn::ConvLayer& layer,
+  LayerContext(const arch::ArchConfig& arch, const nn::Workload& layer,
                const EnergyModel& energy);
 
   // ---- Validity gates (checked before any per-candidate work) ----------
@@ -65,6 +65,9 @@ struct LayerContext {
   // ---- Layer shape ------------------------------------------------------
   nn::LayerKind kind = nn::LayerKind::kConv;
   bool depthwise = false;
+  /// Weight operand indexed by N (attention): the weight tile footprint
+  /// scales by the batch tile and gets no cross-batch reuse.
+  bool batched_weight = false;
   int stride = 1;
   int dim_size[nn::kNumDims] = {1, 1, 1, 1, 1, 1, 1};
   double macs = 0;  ///< layer MACs as double (the model's working type)

@@ -39,7 +39,7 @@ NetworkCost evaluate_network(const CostModel& model,
                              const MappingProvider& provider) {
   return evaluate_network_reports(
       arch, net,
-      [&model, &provider](const arch::ArchConfig& a, const nn::ConvLayer& l) {
+      [&model, &provider](const arch::ArchConfig& a, const nn::Workload& l) {
         return model.evaluate(a, l, provider(a, l));
       });
 }
@@ -49,7 +49,7 @@ NetworkCost evaluate_network_canonical(const CostModel& model,
                                        const nn::Network& net) {
   return evaluate_network(
       model, arch, net,
-      [](const arch::ArchConfig& a, const nn::ConvLayer& l) {
+      [](const arch::ArchConfig& a, const nn::Workload& l) {
         return mapping::canonical_mapping(a, l);
       });
 }

@@ -11,7 +11,7 @@ namespace naas::cost {
 
 /// Cost of one unique layer shape (with its multiplicity in the network).
 struct LayerCost {
-  nn::ConvLayer layer;
+  nn::Workload layer;
   int count = 1;
   CostReport report;
 };
@@ -32,17 +32,17 @@ struct NetworkCost {
 /// Supplies the mapping to use for each (accelerator, layer) pair — either
 /// a canonical baseline mapping or the result of mapping search.
 using MappingProvider = std::function<mapping::Mapping(
-    const arch::ArchConfig&, const nn::ConvLayer&)>;
+    const arch::ArchConfig&, const nn::Workload&)>;
 
 /// Supplies the finished cost report for each (accelerator, layer) pair.
 /// Callers that already evaluated the layer (mapping search keeps the best
 /// candidate's report) plug in their cache here, so assembling a network
 /// cost performs zero new cost-model evaluations.
 using ReportProvider = std::function<CostReport(const arch::ArchConfig&,
-                                                const nn::ConvLayer&)>;
+                                                const nn::Workload&)>;
 
 /// Core aggregation: deduplicates `net` down to its unique layer shapes
-/// (count-weighted, ConvLayerShapeHash), obtains each unique shape's report
+/// (count-weighted, LayerShapeHash), obtains each unique shape's report
 /// from `provider` exactly once, scales by multiplicity, and aggregates.
 /// ResNet/MobileNet-style networks with many identical blocks pay for each
 /// unique shape once.

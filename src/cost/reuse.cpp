@@ -11,44 +11,73 @@ const char* tensor_name(Tensor t) {
   return "?";
 }
 
+namespace {
+
+using nn::Dim;
+
+constexpr unsigned mask_of() { return 0u; }
+template <typename... Dims>
+constexpr unsigned mask_of(Dim d, Dims... rest) {
+  return dim_bit(d) | mask_of(rest...);
+}
+
+constexpr KindSemantics kConvSemantics{
+    mask_of(Dim::kN, Dim::kC, Dim::kYp, Dim::kXp, Dim::kR, Dim::kS),
+    mask_of(Dim::kK, Dim::kC, Dim::kR, Dim::kS),
+    mask_of(Dim::kN, Dim::kK, Dim::kYp, Dim::kXp),
+    mask_of(Dim::kC, Dim::kR, Dim::kS),
+    /*batched_weight=*/false,
+};
+
+constexpr KindSemantics kDepthwiseSemantics{
+    mask_of(Dim::kN, Dim::kK, Dim::kYp, Dim::kXp, Dim::kR, Dim::kS),
+    mask_of(Dim::kK, Dim::kR, Dim::kS),
+    mask_of(Dim::kN, Dim::kK, Dim::kYp, Dim::kXp),
+    mask_of(Dim::kR, Dim::kS),
+    /*batched_weight=*/false,
+};
+
+constexpr KindSemantics kMatmulSemantics{
+    mask_of(Dim::kN, Dim::kC, Dim::kYp),
+    mask_of(Dim::kK, Dim::kC),
+    mask_of(Dim::kN, Dim::kK, Dim::kYp),
+    mask_of(Dim::kC),
+    /*batched_weight=*/false,
+};
+
+constexpr KindSemantics kAttentionSemantics{
+    mask_of(Dim::kN, Dim::kC, Dim::kYp),
+    mask_of(Dim::kN, Dim::kK, Dim::kC),
+    mask_of(Dim::kN, Dim::kK, Dim::kYp),
+    mask_of(Dim::kC),
+    /*batched_weight=*/true,
+};
+
+}  // namespace
+
+const KindSemantics& semantics(nn::LayerKind kind) {
+  switch (kind) {
+    case nn::LayerKind::kDepthwiseConv: return kDepthwiseSemantics;
+    case nn::LayerKind::kMatmul: return kMatmulSemantics;
+    case nn::LayerKind::kAttention: return kAttentionSemantics;
+    case nn::LayerKind::kConv:
+    case nn::LayerKind::kFullyConnected: break;
+  }
+  return kConvSemantics;
+}
+
 bool is_relevant(Tensor t, nn::Dim d, nn::LayerKind kind) {
-  const bool dw = kind == nn::LayerKind::kDepthwiseConv;
+  const KindSemantics& s = semantics(kind);
   switch (t) {
-    case Tensor::kInput:
-      switch (d) {
-        case nn::Dim::kN:
-        case nn::Dim::kYp:
-        case nn::Dim::kXp:
-        case nn::Dim::kR:
-        case nn::Dim::kS: return true;
-        case nn::Dim::kC: return !dw;
-        case nn::Dim::kK: return dw;
-      }
-      return false;
-    case Tensor::kWeight:
-      switch (d) {
-        case nn::Dim::kK:
-        case nn::Dim::kR:
-        case nn::Dim::kS: return true;
-        case nn::Dim::kC: return !dw;
-        default: return false;
-      }
-    case Tensor::kOutput:
-      switch (d) {
-        case nn::Dim::kN:
-        case nn::Dim::kK:
-        case nn::Dim::kYp:
-        case nn::Dim::kXp: return true;
-        default: return false;
-      }
+    case Tensor::kInput: return (s.input_mask & dim_bit(d)) != 0;
+    case Tensor::kWeight: return (s.weight_mask & dim_bit(d)) != 0;
+    case Tensor::kOutput: return (s.output_mask & dim_bit(d)) != 0;
   }
   return false;
 }
 
 bool is_reduction(nn::Dim d, nn::LayerKind kind) {
-  if (d == nn::Dim::kR || d == nn::Dim::kS) return true;
-  if (d == nn::Dim::kC) return kind != nn::LayerKind::kDepthwiseConv;
-  return false;
+  return (semantics(kind).reduction_mask & dim_bit(d)) != 0;
 }
 
 long long trips_of(const TripCounts& t, nn::Dim d) {

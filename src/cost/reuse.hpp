@@ -7,25 +7,55 @@
 
 namespace naas::cost {
 
-/// The three operand tensors of a convolution.
+/// The three operand tensors of a workload.
 enum class Tensor { kInput, kWeight, kOutput };
 
 /// Name of a tensor ("input", "weight", "output").
 const char* tensor_name(Tensor t);
 
-/// True if loop dimension `d` indexes tensor `t`.
+/// Bit for dimension `d` in a KindSemantics mask.
+constexpr unsigned dim_bit(nn::Dim d) {
+  return 1u << static_cast<int>(d);
+}
+
+/// Per-kind dim-semantics table: which of the seven loop dims index each
+/// operand tensor, which dims accumulate partial sums, and whether the
+/// weight operand is itself batch-indexed. This single table is what makes
+/// the whole cost stack kind-dispatched — reuse scans, LayerContext
+/// precompute, footprint formulas, and trace_sim all read it instead of
+/// hard-coding conv.
 ///
-/// Standard conv / FC:
-///   input:  N, C, Y', X', R, S   (K is irrelevant -> broadcast over K)
-///   weight: K, C, R, S           (N, Y', X' irrelevant -> stationary)
-///   output: N, K, Y', X'         (C, R, S are reduction dims)
-/// Depthwise conv: the K loop walks channels, so the input is indexed by K
-/// instead of C, and C (== 1) is irrelevant everywhere.
+///              input              weight        output         reduction
+///   conv/fc    N C Y' X' R S      K C R S       N K Y' X'      C R S
+///   dwconv     N K Y' X' R S      K R S         N K Y' X'      R S
+///   matmul     N C Y'             K C           N K Y'         C
+///   attention  N C Y'             N K C         N K Y'         C
+///
+/// Depthwise has no cross-channel reduction (the K loop walks channels, C
+/// is pinned to 1). Matmul/attention pin X'/R/S to 1, so the masks drop
+/// them; every conv-era formula degenerates to the exact GEMM form because
+/// unit-trip loops contribute nothing to reuse products. Attention is the
+/// only kind whose weight mask contains N: its second operand is an
+/// activation (K^T or V), one copy per batch x head slice, which is what
+/// kills cross-batch weight reuse and makes LLM decode bandwidth-bound.
+struct KindSemantics {
+  unsigned input_mask;
+  unsigned weight_mask;
+  unsigned output_mask;
+  unsigned reduction_mask;
+  bool batched_weight;  ///< weight operand indexed by N (attention only)
+};
+
+/// The semantics table entry for a layer kind.
+const KindSemantics& semantics(nn::LayerKind kind);
+
+/// True if loop dimension `d` indexes tensor `t` (mask lookup into the
+/// per-kind semantics table).
 bool is_relevant(Tensor t, nn::Dim d, nn::LayerKind kind);
 
 /// True if `d` is a reduction dimension for the layer kind (irrelevant to
 /// the output index but accumulating partial sums): C,R,S for conv/FC,
-/// R,S for depthwise.
+/// R,S for depthwise, C for matmul/attention.
 bool is_reduction(nn::Dim d, nn::LayerKind kind);
 
 /// Per-dimension trip counts of one temporal loop level.

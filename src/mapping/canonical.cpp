@@ -45,7 +45,7 @@ ShrinkPriority canonical_shrink_priority(arch::Dataflow df) {
 }
 
 Mapping canonical_mapping(const arch::ArchConfig& arch,
-                          const nn::ConvLayer& layer, arch::Dataflow df) {
+                          const nn::Workload& layer, arch::Dataflow df) {
   Mapping m;
   const LoopOrder order = canonical_order(df);
   m.dram.order = order;
@@ -61,7 +61,7 @@ Mapping canonical_mapping(const arch::ArchConfig& arch,
 }
 
 Mapping canonical_mapping(const arch::ArchConfig& arch,
-                          const nn::ConvLayer& layer) {
+                          const nn::Workload& layer) {
   return canonical_mapping(arch, layer, arch::native_dataflow(arch));
 }
 

@@ -31,10 +31,10 @@ ShrinkPriority canonical_shrink_priority(arch::Dataflow df);
 /// mapping search: canonical orders at every level, maximal greedy tiles
 /// repaired to capacity with the dataflow's shrink priority.
 Mapping canonical_mapping(const arch::ArchConfig& arch,
-                          const nn::ConvLayer& layer, arch::Dataflow df);
+                          const nn::Workload& layer, arch::Dataflow df);
 
 /// Same, using the arch's native dataflow (arch::native_dataflow).
 Mapping canonical_mapping(const arch::ArchConfig& arch,
-                          const nn::ConvLayer& layer);
+                          const nn::Workload& layer);
 
 }  // namespace naas::mapping

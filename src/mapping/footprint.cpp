@@ -4,7 +4,7 @@
 
 namespace naas::mapping {
 
-TileFootprint tile_footprint(const nn::ConvLayer& layer,
+TileFootprint tile_footprint(const nn::Workload& layer,
                              const TileSizes& tile) {
   auto t = [&](nn::Dim d) {
     return std::max(1, std::min(tile_of(tile, d), layer.dim_size(d)));
@@ -29,9 +29,15 @@ TileFootprint tile_footprint(const nn::ConvLayer& layer,
   const long long in_ch =
       layer.kind == nn::LayerKind::kDepthwiseConv ? tk : tc;
 
+  // Attention's second operand (K^T / V) is an activation indexed by the
+  // batch x head loop, so its tile scales with tn; all other kinds
+  // multiply by 1, keeping the pre-refactor bytes integer-identical.
+  const long long w_batch =
+      layer.kind == nn::LayerKind::kAttention ? tn : 1;
+
   TileFootprint fp;
   fp.input = tn * in_ch * in_rows * in_cols * kBytesPerElement;
-  fp.weight = tk * tc * tr * ts * kBytesPerElement;
+  fp.weight = w_batch * tk * tc * tr * ts * kBytesPerElement;
   fp.output = tn * tk * typ * txp * kBytesPerElement;
   return fp;
 }

@@ -24,6 +24,6 @@ struct TileFootprint {
 /// ((t_Y'-1)*stride + t_R rows, similarly for columns) and for depthwise
 /// layers walks channels with K. Tile extents are clamped to the layer's
 /// dimension sizes.
-TileFootprint tile_footprint(const nn::ConvLayer& layer, const TileSizes& tile);
+TileFootprint tile_footprint(const nn::Workload& layer, const TileSizes& tile);
 
 }  // namespace naas::mapping

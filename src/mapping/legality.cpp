@@ -20,7 +20,7 @@ void clamp_tiles(TileSizes& tiles, BoundFn bound) {
 
 }  // namespace
 
-int pe_share(const nn::ConvLayer& layer, const arch::ArchConfig& arch,
+int pe_share(const nn::Workload& layer, const arch::ArchConfig& arch,
              const TileSizes& dram_tile, nn::Dim d) {
   const int t2 = std::clamp(tile_of(dram_tile, d), 1, layer.dim_size(d));
   return std::max(1, ceil_div(t2, arch.parallel_extent(d)));
@@ -44,7 +44,7 @@ std::string reason_l2_overflow(long long footprint, long long capacity) {
          std::to_string(capacity) + "B)";
 }
 
-LegalityReport check(const Mapping& m, const nn::ConvLayer& layer,
+LegalityReport check(const Mapping& m, const nn::Workload& layer,
                      const arch::ArchConfig& arch) {
   if (!is_valid_order(m.dram.order)) return {false, kReasonDramOrder};
   if (!is_valid_order(m.pe.order)) return {false, kReasonPeOrder};
@@ -71,7 +71,7 @@ ShrinkPriority default_shrink_priority() {
           nn::Dim::kC,  nn::Dim::kS,  nn::Dim::kR};
 }
 
-Mapping repair(Mapping m, const nn::ConvLayer& layer,
+Mapping repair(Mapping m, const nn::Workload& layer,
                const arch::ArchConfig& arch, const ShrinkPriority& priority) {
   if (!is_valid_order(m.dram.order)) m.dram.order = default_order();
   if (!is_valid_order(m.pe.order)) m.pe.order = default_order();
@@ -108,7 +108,7 @@ Mapping repair(Mapping m, const nn::ConvLayer& layer,
   return m;
 }
 
-Mapping grow_to_fit(Mapping m, const nn::ConvLayer& layer,
+Mapping grow_to_fit(Mapping m, const nn::Workload& layer,
                     const arch::ArchConfig& arch,
                     const ShrinkPriority& dram_priority,
                     const ShrinkPriority& pe_priority) {

@@ -16,12 +16,12 @@ struct LegalityReport {
 
 /// Per-PE temporal share along `d` after spatial partitioning of the L2
 /// tile: ceil(dram_tile[d] / parallel_extent(d)), at least 1.
-int pe_share(const nn::ConvLayer& layer, const arch::ArchConfig& arch,
+int pe_share(const nn::Workload& layer, const arch::ArchConfig& arch,
              const TileSizes& dram_tile, nn::Dim d);
 
 /// Checks structural validity (orders are permutations, tiles within
 /// [1, bound]) and capacity (per-PE tile fits L1, L2 tile fits L2).
-LegalityReport check(const Mapping& m, const nn::ConvLayer& layer,
+LegalityReport check(const Mapping& m, const nn::Workload& layer,
                      const arch::ArchConfig& arch);
 
 /// Reason strings shared by `check` and the batched legality pass inside
@@ -57,7 +57,7 @@ ShrinkPriority default_shrink_priority();
 ///     with dram tile > 1 (re-clamping the pe tile to the new share).
 /// Always terminates with a legal mapping (an all-ones tile fits any
 /// positive buffer).
-Mapping repair(Mapping m, const nn::ConvLayer& layer,
+Mapping repair(Mapping m, const nn::Workload& layer,
                const arch::ArchConfig& arch,
                const ShrinkPriority& priority = default_shrink_priority());
 
@@ -68,7 +68,7 @@ Mapping repair(Mapping m, const nn::ConvLayer& layer,
 /// traffic), so decoders call this to map every genome into the productive
 /// region of the tiling space; the genes retain control over *which* dims
 /// receive the buffer capacity. Requires `m` to be legal.
-Mapping grow_to_fit(Mapping m, const nn::ConvLayer& layer,
+Mapping grow_to_fit(Mapping m, const nn::Workload& layer,
                     const arch::ArchConfig& arch,
                     const ShrinkPriority& dram_priority,
                     const ShrinkPriority& pe_priority);

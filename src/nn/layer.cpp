@@ -24,11 +24,13 @@ const char* layer_kind_name(LayerKind k) {
     case LayerKind::kConv: return "conv";
     case LayerKind::kDepthwiseConv: return "dwconv";
     case LayerKind::kFullyConnected: return "fc";
+    case LayerKind::kMatmul: return "matmul";
+    case LayerKind::kAttention: return "attention";
   }
   return "?";
 }
 
-int ConvLayer::dim_size(Dim d) const {
+int Workload::dim_size(Dim d) const {
   switch (d) {
     case Dim::kN: return batch;
     case Dim::kK: return out_channels;
@@ -41,50 +43,61 @@ int ConvLayer::dim_size(Dim d) const {
   return 1;
 }
 
-long long ConvLayer::macs() const {
+long long Workload::macs() const {
   long long m = 1;
   for (Dim d : all_dims()) m *= dim_size(d);
   return m;
 }
 
-long long ConvLayer::input_elems() const {
+long long Workload::input_elems() const {
   const long long channels =
       kind == LayerKind::kDepthwiseConv ? out_channels : in_channels;
   return static_cast<long long>(batch) * channels *
          input_rows_for(out_h) * input_cols_for(out_w);
 }
 
-long long ConvLayer::weight_elems() const {
+long long Workload::weight_elems() const {
   const long long per_filter = static_cast<long long>(in_channels) *
                                kernel_h * kernel_w;
-  return static_cast<long long>(out_channels) * per_filter;
+  const long long shared = static_cast<long long>(out_channels) * per_filter;
+  // Attention's second operand is an activation: one copy per batch x head
+  // slice, never shared across N.
+  return kind == LayerKind::kAttention ? shared * batch : shared;
 }
 
-long long ConvLayer::output_elems() const {
+long long Workload::output_elems() const {
   return static_cast<long long>(batch) * out_channels * out_h * out_w;
 }
 
-int ConvLayer::input_rows_for(int out_rows) const {
-  return (out_rows - 1) * std::min(stride, kernel_h) + kernel_h;
+long long Workload::input_rows_for(long long out_rows) const {
+  return (out_rows - 1) * std::min<long long>(stride, kernel_h) + kernel_h;
 }
 
-int ConvLayer::input_cols_for(int out_cols) const {
-  return (out_cols - 1) * std::min(stride, kernel_w) + kernel_w;
+long long Workload::input_cols_for(long long out_cols) const {
+  return (out_cols - 1) * std::min<long long>(stride, kernel_w) + kernel_w;
 }
 
-std::string ConvLayer::to_string() const {
+std::string Workload::to_string() const {
   char buf[160];
-  std::snprintf(buf, sizeof buf, "%s: %s %dx%d k%dx%d s%d @%dx%d n%d",
-                name.c_str(), layer_kind_name(kind), in_channels, out_channels,
-                kernel_h, kernel_w, stride, out_h, out_w, batch);
+  if (kind == LayerKind::kMatmul || kind == LayerKind::kAttention) {
+    // GEMM view: M x K_r x N_o (dims Y' x C x K), heads folded into batch.
+    std::snprintf(buf, sizeof buf, "%s: %s m%d k%d n%d b%d", name.c_str(),
+                  layer_kind_name(kind), out_h, in_channels, out_channels,
+                  batch);
+  } else {
+    std::snprintf(buf, sizeof buf, "%s: %s %dx%d k%dx%d s%d @%dx%d n%d",
+                  name.c_str(), layer_kind_name(kind), in_channels,
+                  out_channels, kernel_h, kernel_w, stride, out_h, out_w,
+                  batch);
+  }
   return buf;
 }
 
-bool operator==(const ConvLayer& a, const ConvLayer& b) {
-  return a.name == b.name && ConvLayerShapeEq{}(a, b);
+bool operator==(const Workload& a, const Workload& b) {
+  return a.name == b.name && LayerShapeEq{}(a, b);
 }
 
-std::size_t ConvLayerShapeHash::operator()(const ConvLayer& l) const {
+std::size_t LayerShapeHash::operator()(const Workload& l) const {
   std::size_t h = static_cast<std::size_t>(l.kind);
   auto mix = [&h](long long v) {
     h ^= static_cast<std::size_t>(v) + 0x9e3779b97f4a7c15ULL + (h << 6) +
@@ -101,7 +114,7 @@ std::size_t ConvLayerShapeHash::operator()(const ConvLayer& l) const {
   return h;
 }
 
-bool ConvLayerShapeEq::operator()(const ConvLayer& a, const ConvLayer& b) const {
+bool LayerShapeEq::operator()(const Workload& a, const Workload& b) const {
   return a.kind == b.kind && a.batch == b.batch &&
          a.out_channels == b.out_channels && a.in_channels == b.in_channels &&
          a.out_h == b.out_h && a.out_w == b.out_w &&
@@ -109,9 +122,9 @@ bool ConvLayerShapeEq::operator()(const ConvLayer& a, const ConvLayer& b) const 
          a.stride == b.stride;
 }
 
-ConvLayer make_conv(std::string name, int in_ch, int out_ch, int kernel,
-                    int stride, int out_hw, int batch) {
-  ConvLayer l;
+Workload make_conv(std::string name, int in_ch, int out_ch, int kernel,
+                   int stride, int out_hw, int batch) {
+  Workload l;
   l.name = std::move(name);
   l.kind = LayerKind::kConv;
   l.batch = batch;
@@ -125,9 +138,9 @@ ConvLayer make_conv(std::string name, int in_ch, int out_ch, int kernel,
   return l;
 }
 
-ConvLayer make_dwconv(std::string name, int channels, int kernel, int stride,
-                      int out_hw, int batch) {
-  ConvLayer l;
+Workload make_dwconv(std::string name, int channels, int kernel, int stride,
+                     int out_hw, int batch) {
+  Workload l;
   l.name = std::move(name);
   l.kind = LayerKind::kDepthwiseConv;
   l.batch = batch;
@@ -141,9 +154,9 @@ ConvLayer make_dwconv(std::string name, int channels, int kernel, int stride,
   return l;
 }
 
-ConvLayer make_fc(std::string name, int in_features, int out_features,
-                  int batch) {
-  ConvLayer l;
+Workload make_fc(std::string name, int in_features, int out_features,
+                 int batch) {
+  Workload l;
   l.name = std::move(name);
   l.kind = LayerKind::kFullyConnected;
   l.batch = batch;
@@ -154,6 +167,42 @@ ConvLayer make_fc(std::string name, int in_features, int out_features,
   l.stride = 1;
   l.out_h = 1;
   l.out_w = 1;
+  return l;
+}
+
+Workload make_matmul(std::string name, int rows, int in_features,
+                     int out_features, int batch) {
+  Workload l;
+  l.name = std::move(name);
+  l.kind = LayerKind::kMatmul;
+  l.batch = batch;
+  l.out_h = rows;
+  l.in_channels = in_features;
+  l.out_channels = out_features;
+  l.out_w = 1;
+  l.kernel_h = 1;
+  l.kernel_w = 1;
+  l.stride = 1;
+  return l;
+}
+
+Workload make_attention_scores(std::string name, int seq_q, int seq_kv,
+                               int head_dim, int heads, int batch) {
+  // Q[seq_q, head_dim] x K^T[head_dim, seq_kv] per (batch x head):
+  // M = seq_q, K_r = head_dim, N_o = seq_kv.
+  Workload l = make_matmul(std::move(name), seq_q, head_dim, seq_kv,
+                           batch * heads);
+  l.kind = LayerKind::kAttention;
+  return l;
+}
+
+Workload make_attention_context(std::string name, int seq_q, int seq_kv,
+                                int head_dim, int heads, int batch) {
+  // scores[seq_q, seq_kv] x V[seq_kv, head_dim] per (batch x head):
+  // M = seq_q, K_r = seq_kv, N_o = head_dim.
+  Workload l = make_matmul(std::move(name), seq_q, seq_kv, head_dim,
+                           batch * heads);
+  l.kind = LayerKind::kAttention;
   return l;
 }
 

@@ -240,6 +240,74 @@ Network make_cifar_net(int batch) {
   return net;
 }
 
+namespace {
+
+/// One pre-norm transformer encoder block in the 7D workload form: the
+/// four hidden x hidden projections, the two attention matmuls, and the
+/// two-matmul FFN. `seq_kv` differs from `seq_q` only for decode.
+void add_encoder_block(Network& net, const std::string& base, int seq_q,
+                       int seq_kv, int hidden, int heads, int ffn,
+                       int batch) {
+  const int head_dim = hidden / heads;
+  net.add(make_matmul(base + "_q_proj", seq_q, hidden, hidden, batch));
+  net.add(make_matmul(base + "_k_proj", seq_q, hidden, hidden, batch));
+  net.add(make_matmul(base + "_v_proj", seq_q, hidden, hidden, batch));
+  net.add(make_attention_scores(base + "_attn_qk", seq_q, seq_kv, head_dim,
+                                heads, batch));
+  net.add(make_attention_context(base + "_attn_av", seq_q, seq_kv, head_dim,
+                                 heads, batch));
+  net.add(make_matmul(base + "_o_proj", seq_q, hidden, hidden, batch));
+  net.add(make_matmul(base + "_ffn_up", seq_q, hidden, ffn, batch));
+  net.add(make_matmul(base + "_ffn_down", seq_q, ffn, hidden, batch));
+}
+
+}  // namespace
+
+Network make_bert_base_encoder(int seq, int batch) {
+  Network net("BertBaseEncoder", {});
+  for (int b = 0; b < 12; ++b)
+    add_encoder_block(net, "blk" + std::to_string(b), seq, seq, 768, 12,
+                      3072, batch);
+  return net;
+}
+
+Network make_vit_b16_encoder(int batch) {
+  Network net("ViTB16Encoder", {});
+  // Patch embedding: a 16x16/stride-16 conv from RGB to the hidden size —
+  // the one conv layer in an otherwise matmul/attention network.
+  net.add(make_conv("patch_embed", 3, 768, 16, 16, 14, batch));
+  const int seq = 14 * 14 + 1;  // 196 patches + CLS token
+  for (int b = 0; b < 12; ++b)
+    add_encoder_block(net, "blk" + std::to_string(b), seq, seq, 768, 12,
+                      3072, batch);
+  net.add(make_fc("head", 768, 1000, batch));
+  return net;
+}
+
+Network make_llm_decode(int context, int batch) {
+  Network net("LlmDecode" + std::to_string(context), {});
+  const int hidden = 4096, heads = 32, head_dim = hidden / heads;
+  const int ffn = 11008;  // LLaMA-7B gated FFN width
+  for (int b = 0; b < 32; ++b) {
+    const std::string base = "blk" + std::to_string(b);
+    net.add(make_matmul(base + "_q_proj", 1, hidden, hidden, batch));
+    net.add(make_matmul(base + "_k_proj", 1, hidden, hidden, batch));
+    net.add(make_matmul(base + "_v_proj", 1, hidden, hidden, batch));
+    // One fresh query token against the full KV cache.
+    net.add(make_attention_scores(base + "_attn_qk", 1, context, head_dim,
+                                  heads, batch));
+    net.add(make_attention_context(base + "_attn_av", 1, context, head_dim,
+                                   heads, batch));
+    net.add(make_matmul(base + "_o_proj", 1, hidden, hidden, batch));
+    // Gated FFN: gate and up projections share a shape, dedup covers it.
+    net.add(make_matmul(base + "_ffn_gate", 1, hidden, ffn, batch));
+    net.add(make_matmul(base + "_ffn_up", 1, hidden, ffn, batch));
+    net.add(make_matmul(base + "_ffn_down", 1, ffn, hidden, batch));
+  }
+  net.add(make_matmul("lm_head", 1, hidden, 32000, batch));
+  return net;
+}
+
 std::vector<Network> large_benchmarks(int batch) {
   return {make_vgg16(batch), make_resnet50(batch), make_unet(batch)};
 }
@@ -258,6 +326,12 @@ Network make_network(const std::string& name, int batch) {
   if (n == "squeezenet") return make_squeezenet(batch);
   if (n == "mnasnet") return make_mnasnet(batch);
   if (n == "cifarnet" || n == "cifar") return make_cifar_net(batch);
+  if (n == "bert_base_encoder" || n == "bert") {
+    return make_bert_base_encoder(128, batch);
+  }
+  if (n == "vit_b16_encoder" || n == "vit") return make_vit_b16_encoder(batch);
+  if (n == "llm_decode") return make_llm_decode(2048, batch);
+  if (n == "llm_decode_8k") return make_llm_decode(8192, batch);
   throw std::invalid_argument("unknown network: " + name);
 }
 

@@ -10,7 +10,10 @@ namespace naas::nn {
 /// Builders for the six CNN benchmarks used in the paper's evaluation
 /// (Section III-A: VGG16, ResNet50, UNet / MobileNetV2, SqueezeNet,
 /// MNasNet) plus a CIFAR-scale network for the NASAIC comparison
-/// (Table III). All models use batch = 1 as in the paper (Fig. 10).
+/// (Table III), and the transformer workload set (BERT-base / ViT-B/16
+/// encoders, LLM decode shape family) from the ROADMAP's
+/// scenario-diversity item. All models use batch = 1 as in the paper
+/// (Fig. 10).
 ///
 /// Shapes follow the original publications; element-wise/pooling layers are
 /// omitted (see Network docs). MNasNet-A1 squeeze-excite blocks are omitted
@@ -42,6 +45,26 @@ Network make_mnasnet(int batch = 1);
 /// DESIGN.md §3).
 Network make_cifar_net(int batch = 1);
 
+/// BERT-base encoder stack: 12 identical blocks (hidden 768, 12 heads,
+/// head_dim 64, FFN 3072) at sequence length `seq`. Each block contributes
+/// Q/K/V/output projections (kMatmul), the two attention matmuls
+/// (kAttention: QK^T scores and scores x V context), and the two FFN
+/// matmuls. Blocks are shape-identical, so layer-shape dedup evaluates one.
+Network make_bert_base_encoder(int seq = 128, int batch = 1);
+
+/// ViT-B/16 encoder at 224x224: the 16x16 patch-embed convolution
+/// (stride-16 conv, the bridge layer between the conv and matmul worlds),
+/// 12 BERT-base-sized encoder blocks at sequence length 197
+/// (196 patches + CLS), and the classification head.
+Network make_vit_b16_encoder(int batch = 1);
+
+/// Single-token LLM decode step, LLaMA-7B-class shapes: 32 blocks of
+/// hidden 4096, 32 heads, head_dim 128, gated FFN 11008, seq_q = 1 against
+/// a KV cache of `context` tokens. The attention matmuls read a fresh
+/// K/V slice per head with no cross-batch reuse (kAttention), making this
+/// the bandwidth-dominated shape family of the ROADMAP's scenario item.
+Network make_llm_decode(int context = 2048, int batch = 1);
+
 /// The large-model benchmark set of the paper (VGG16, ResNet50, UNet).
 std::vector<Network> large_benchmarks(int batch = 1);
 
@@ -49,8 +72,9 @@ std::vector<Network> large_benchmarks(int batch = 1);
 std::vector<Network> small_benchmarks(int batch = 1);
 
 /// Lookup by case-insensitive name ("vgg16", "resnet50", "unet",
-/// "mobilenetv2", "squeezenet", "mnasnet", "cifarnet"); throws
-/// std::invalid_argument for unknown names.
+/// "mobilenetv2", "squeezenet", "mnasnet", "cifarnet",
+/// "bert_base_encoder", "vit_b16_encoder", "llm_decode",
+/// "llm_decode_8k"); throws std::invalid_argument for unknown names.
 Network make_network(const std::string& name, int batch = 1);
 
 }  // namespace naas::nn

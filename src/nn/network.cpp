@@ -17,10 +17,10 @@ long long Network::total_weights() const {
   return total;
 }
 
-std::vector<std::pair<ConvLayer, int>> Network::unique_layers() const {
-  std::vector<std::pair<ConvLayer, int>> out;
-  std::unordered_map<ConvLayer, std::size_t, ConvLayerShapeHash,
-                     ConvLayerShapeEq>
+std::vector<std::pair<Workload, int>> Network::unique_layers() const {
+  std::vector<std::pair<Workload, int>> out;
+  std::unordered_map<Workload, std::size_t, LayerShapeHash,
+                     LayerShapeEq>
       index;
   for (const auto& l : layers_) {
     auto it = index.find(l);

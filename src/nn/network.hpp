@@ -8,21 +8,23 @@
 
 namespace naas::nn {
 
-/// An ordered list of convolutional workloads forming one benchmark network.
-/// Element-wise ops (ReLU, BN, residual adds, pooling) are not modeled,
-/// matching MAESTRO-based evaluation methodology where conv/FC dominate.
+/// An ordered list of workloads (conv, depthwise, fc, matmul, attention)
+/// forming one benchmark network. Element-wise ops (ReLU, BN, residual
+/// adds, pooling, softmax, layernorm) are not modeled, matching
+/// MAESTRO-based evaluation methodology where the dense tensor ops
+/// dominate.
 class Network {
  public:
   Network() = default;
-  Network(std::string name, std::vector<ConvLayer> layers)
+  Network(std::string name, std::vector<Workload> layers)
       : name_(std::move(name)), layers_(std::move(layers)) {}
 
   const std::string& name() const { return name_; }
-  const std::vector<ConvLayer>& layers() const { return layers_; }
+  const std::vector<Workload>& layers() const { return layers_; }
   int num_layers() const { return static_cast<int>(layers_.size()); }
 
   /// Appends a layer.
-  void add(ConvLayer layer) { layers_.push_back(std::move(layer)); }
+  void add(Workload layer) { layers_.push_back(std::move(layer)); }
 
   /// Total MACs across all layers.
   long long total_macs() const;
@@ -33,14 +35,14 @@ class Network {
   /// Unique layer shapes with multiplicities, preserving first-seen order.
   /// Searching/evaluating per unique shape and multiplying by the count is a
   /// large speedup for networks with repeated blocks (ResNet, MobileNet).
-  std::vector<std::pair<ConvLayer, int>> unique_layers() const;
+  std::vector<std::pair<Workload, int>> unique_layers() const;
 
   /// Multi-line human-readable summary.
   std::string to_string() const;
 
  private:
   std::string name_;
-  std::vector<ConvLayer> layers_;
+  std::vector<Workload> layers_;
 };
 
 }  // namespace naas::nn

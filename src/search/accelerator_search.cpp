@@ -66,25 +66,25 @@ StoreStatus ArchEvaluator::save_store(const std::string& path) const {
 }
 
 std::uint64_t ArchEvaluator::cache_key(const arch::ArchConfig& arch,
-                                       const nn::ConvLayer& layer) const {
+                                       const nn::Workload& layer) const {
   const std::uint64_t a = arch_fingerprint(arch);
-  const std::uint64_t l = nn::ConvLayerShapeHash{}(layer);
+  const std::uint64_t l = nn::LayerShapeHash{}(layer);
   return hash_mix(hash_mix(options_fingerprint_, a), l);
 }
 
 const MappingSearchResult* ArchEvaluator::find_cached(
-    const arch::ArchConfig& arch, const nn::ConvLayer& layer) const {
+    const arch::ArchConfig& arch, const nn::Workload& layer) const {
   return cache_.find(cache_key(arch, layer));
 }
 
 MappingSearchOptions ArchEvaluator::layer_options(
-    const nn::ConvLayer& layer) const {
+    const nn::Workload& layer) const {
   MappingSearchOptions opts = mapping_;
   // Layer-dependent seed keeps runs deterministic while decorrelating
   // searches across layers. Crucially the seed does NOT depend on
   // evaluation/request order, so concurrent (and speculative) cache fills
   // are reproducible.
-  opts.seed = mapping_.seed ^ nn::ConvLayerShapeHash{}(layer);
+  opts.seed = mapping_.seed ^ nn::LayerShapeHash{}(layer);
   return opts;
 }
 
@@ -139,7 +139,7 @@ core::TaskGraph::Stats ArchEvaluator::scheduler_stats() const {
 }
 
 const MappingSearchResult& ArchEvaluator::best_mapping(
-    const arch::ArchConfig& arch, const nn::ConvLayer& layer) {
+    const arch::ArchConfig& arch, const nn::Workload& layer) {
   const std::uint64_t key = cache_key(arch, layer);
   if (const MappingSearchResult* hit = cache_.find(key)) {
     // A speculatively prefetched entry becomes real work the first time a
@@ -174,7 +174,7 @@ cost::NetworkCost ArchEvaluator::assemble_network(const arch::ArchConfig& arch,
   // kept the winning candidate's full report).
   return cost::evaluate_network_reports(
       arch, net,
-      [this](const arch::ArchConfig& a, const nn::ConvLayer& l) {
+      [this](const arch::ArchConfig& a, const nn::Workload& l) {
         const MappingSearchResult* r = find_cached(a, l);
         if (r == nullptr) r = &best_mapping(a, l);  // unreachable when piped
         if (!std::isfinite(r->best_edp)) {

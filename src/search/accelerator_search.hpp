@@ -70,7 +70,7 @@ class ArchEvaluator {
 
   /// Best searched mapping for one layer (cached).
   const MappingSearchResult& best_mapping(const arch::ArchConfig& arch,
-                                          const nn::ConvLayer& layer);
+                                          const nn::Workload& layer);
 
   /// Pure assembly of a network cost from resident cache entries — zero
   /// new evaluations and no pipeline construction. This is the
@@ -159,11 +159,11 @@ class ArchEvaluator {
   friend class EvalPipeline;
 
   std::uint64_t cache_key(const arch::ArchConfig& arch,
-                          const nn::ConvLayer& layer) const;
+                          const nn::Workload& layer) const;
 
   /// Cached entry for (arch, layer), or nullptr.
   const MappingSearchResult* find_cached(const arch::ArchConfig& arch,
-                                         const nn::ConvLayer& layer) const;
+                                         const nn::Workload& layer) const;
 
   /// The mapping-search options actually used for `layer`: the evaluator's
   /// budget with a layer-dependent seed (decorrelates searches across
@@ -171,7 +171,7 @@ class ArchEvaluator {
   /// source of truth for every search path — best_mapping and the
   /// pipeline's chains must seed identically or cache contents would
   /// depend on which path filled an entry.
-  MappingSearchOptions layer_options(const nn::ConvLayer& layer) const;
+  MappingSearchOptions layer_options(const nn::Workload& layer) const;
 
   // --- EvalPipeline accounting hooks -----------------------------------
   /// Counts a freshly published real search into the work meters.

@@ -295,7 +295,7 @@ int MapEncodingSpec::genome_size() const {
 
 mapping::Mapping MapEncodingSpec::decode(const std::vector<double>& genome,
                                          const arch::ArchConfig& arch,
-                                         const nn::ConvLayer& layer) const {
+                                         const nn::Workload& layer) const {
   mapping::Mapping m;
   std::size_t g = 0;
 

@@ -110,7 +110,7 @@ struct MapEncodingSpec {
   /// capacity-repaired so every decoded mapping is evaluable.
   mapping::Mapping decode(const std::vector<double>& genome,
                           const arch::ArchConfig& arch,
-                          const nn::ConvLayer& layer) const;
+                          const nn::Workload& layer) const;
 };
 
 }  // namespace naas::search

@@ -17,7 +17,7 @@ EvalPipeline::EvalPipeline(ArchEvaluator& evaluator)
     : evaluator_(evaluator), graph_(evaluator.pool()) {}
 
 std::optional<core::TaskGraph::TaskId> EvalPipeline::request(
-    const arch::ArchConfig& arch, const nn::ConvLayer& layer,
+    const arch::ArchConfig& arch, const nn::Workload& layer,
     bool speculative) {
   const std::uint64_t key = evaluator_.cache_key(arch, layer);
 

@@ -67,7 +67,7 @@ class EvalPipeline {
   /// for a key previously requested speculatively promotes its accounting
   /// (speculative hit), never re-runs the search.
   std::optional<core::TaskGraph::TaskId> request(const arch::ArchConfig& arch,
-                                                 const nn::ConvLayer& layer,
+                                                 const nn::Workload& layer,
                                                  bool speculative);
 
   /// request() over every unique layer shape of `net`, appending the ids

@@ -28,7 +28,7 @@ constexpr std::size_t kShardCandidates = 4;
 /// runs at a time except the shard batch, and shards write disjoint slices.
 struct ChainState {
   ChainState(core::TaskGraph& g, const cost::CostModel& m,
-             const arch::ArchConfig& a, const nn::ConvLayer& l,
+             const arch::ArchConfig& a, const nn::Workload& l,
              const MappingSearchOptions& o, MappingSearchResult* res,
              core::TaskGraph::Priority p)
       : graph(g), model(m), arch(a), layer(l), options(o), out(res),
@@ -37,7 +37,7 @@ struct ChainState {
   core::TaskGraph& graph;
   const cost::CostModel& model;
   arch::ArchConfig arch;
-  nn::ConvLayer layer;
+  nn::Workload layer;
   MappingSearchOptions options;
   MappingSearchResult* out;
   core::TaskGraph::TaskId done = 0;  ///< promise fulfilled by the finale
@@ -153,7 +153,7 @@ void submit_generation(const std::shared_ptr<ChainState>& st) {
 
 MappingSearchChain submit_mapping_search(
     core::TaskGraph& graph, const cost::CostModel& model,
-    const arch::ArchConfig& arch, const nn::ConvLayer& layer,
+    const arch::ArchConfig& arch, const nn::Workload& layer,
     const MappingSearchOptions& options, MappingSearchResult* out,
     core::TaskGraph::Priority priority) {
   auto st = std::make_shared<ChainState>(graph, model, arch, layer, options,
@@ -200,7 +200,7 @@ MappingSearchChain submit_mapping_search(
 
 MappingSearchResult search_mapping(const cost::CostModel& model,
                                    const arch::ArchConfig& arch,
-                                   const nn::ConvLayer& layer,
+                                   const nn::Workload& layer,
                                    const MappingSearchOptions& options,
                                    core::ThreadPool* pool) {
   core::TaskGraph graph(pool);

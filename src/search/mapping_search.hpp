@@ -73,7 +73,7 @@ struct MappingSearchChain {
 /// promoted via the returned handle.
 MappingSearchChain submit_mapping_search(
     core::TaskGraph& graph, const cost::CostModel& model,
-    const arch::ArchConfig& arch, const nn::ConvLayer& layer,
+    const arch::ArchConfig& arch, const nn::Workload& layer,
     const MappingSearchOptions& options, MappingSearchResult* out,
     core::TaskGraph::Priority priority = core::TaskGraph::Priority::kNormal);
 
@@ -84,7 +84,7 @@ MappingSearchChain submit_mapping_search(
 /// quiescence).
 MappingSearchResult search_mapping(const cost::CostModel& model,
                                    const arch::ArchConfig& arch,
-                                   const nn::ConvLayer& layer,
+                                   const nn::Workload& layer,
                                    const MappingSearchOptions& options,
                                    core::ThreadPool* pool = nullptr);
 

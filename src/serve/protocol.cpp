@@ -221,7 +221,7 @@ bool arch_from_json(const Json& j, arch::ArchConfig* out, std::string* err) {
   return true;
 }
 
-Json layer_to_json(const nn::ConvLayer& layer) {
+Json layer_to_json(const nn::Workload& layer) {
   Json obj = Json::object();
   obj.set("name", Json::string(layer.name));
   obj.set("kind", Json::string(nn::layer_kind_name(layer.kind)));
@@ -236,7 +236,7 @@ Json layer_to_json(const nn::ConvLayer& layer) {
   return obj;
 }
 
-bool layer_from_json(const Json& j, nn::ConvLayer* out, std::string* err) {
+bool layer_from_json(const Json& j, nn::Workload* out, std::string* err) {
   // Non-memoizing fallback: build the network, keep the one layer.
   nn::Network scratch;
   const NetworkResolver resolver =
@@ -253,7 +253,7 @@ bool layer_from_json(const Json& j, nn::ConvLayer* out, std::string* err) {
   return layer_from_json(j, out, err, resolver);
 }
 
-bool layer_from_json(const Json& j, nn::ConvLayer* out, std::string* err,
+bool layer_from_json(const Json& j, nn::Workload* out, std::string* err,
                      const NetworkResolver& resolver) {
   if (!j.is_object()) {
     *err = "layer must be an object";
@@ -278,15 +278,18 @@ bool layer_from_json(const Json& j, nn::ConvLayer* out, std::string* err,
     return true;
   }
 
-  nn::ConvLayer layer;
+  nn::Workload layer;
   if (const Json* name = j.get("name")) layer.name = name->as_string();
   if (const Json* kind = j.get("kind")) {
     const std::string& k = kind->as_string();
     if (k == "conv") layer.kind = nn::LayerKind::kConv;
     else if (k == "dwconv") layer.kind = nn::LayerKind::kDepthwiseConv;
     else if (k == "fc") layer.kind = nn::LayerKind::kFullyConnected;
+    else if (k == "matmul") layer.kind = nn::LayerKind::kMatmul;
+    else if (k == "attention") layer.kind = nn::LayerKind::kAttention;
     else {
-      *err = "layer kind must be conv, dwconv, or fc";
+      *err = "unknown layer kind '" + k +
+             "' (supported kinds: conv, dwconv, fc, matmul, attention)";
       return false;
     }
   }
@@ -307,6 +310,19 @@ bool layer_from_json(const Json& j, nn::ConvLayer* out, std::string* err,
   layer.kernel_w = static_cast<int>(v);
   if (!int_field(j, "stride", layer.stride, &v, err)) return false;
   layer.stride = static_cast<int>(v);
+  if (layer.kind == nn::LayerKind::kMatmul ||
+      layer.kind == nn::LayerKind::kAttention) {
+    // GEMM kinds pin the conv-only dims so every conv formula degenerates
+    // exactly; reject shapes that would silently mean something else.
+    if (layer.out_w != 1 || layer.kernel_h != 1 || layer.kernel_w != 1 ||
+        layer.stride != 1) {
+      *err = std::string(nn::layer_kind_name(layer.kind)) +
+             " layers require out_w/kernel_h/kernel_w/stride == 1 "
+             "(GEMM dims: out_h=rows, in_channels=reduction, "
+             "out_channels=output features)";
+      return false;
+    }
+  }
   *out = std::move(layer);
   return true;
 }

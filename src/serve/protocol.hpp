@@ -74,12 +74,17 @@ using NetworkResolver = std::function<const nn::Network*(
     const std::string& name, std::string* err)>;
 
 /// Layer spec: {"network": "resnet50", "index": 3} (model-zoo lookup) or an
-/// explicit shape {"kind": "conv"|"dwconv"|"fc", "batch": ..,
-/// "out_channels": .., "in_channels": .., "out_h": .., "out_w": ..,
-/// "kernel_h": .., "kernel_w": .., "stride": .., "name"?: ..}.
-Json layer_to_json(const nn::ConvLayer& layer);
-bool layer_from_json(const Json& j, nn::ConvLayer* out, std::string* err);
-bool layer_from_json(const Json& j, nn::ConvLayer* out, std::string* err,
+/// explicit shape {"kind": "conv"|"dwconv"|"fc"|"matmul"|"attention",
+/// "batch": .., "out_channels": .., "in_channels": .., "out_h": ..,
+/// "out_w": .., "kernel_h": .., "kernel_w": .., "stride": ..,
+/// "name"?: ..}. GEMM kinds (matmul/attention) read out_h as the row count
+/// M, in_channels as the reduction depth, out_channels as the output
+/// features, and require out_w/kernel_h/kernel_w/stride == 1; attention
+/// additionally folds batch x heads into "batch". Unknown kind strings are
+/// rejected with a bad_request naming the supported kinds.
+Json layer_to_json(const nn::Workload& layer);
+bool layer_from_json(const Json& j, nn::Workload* out, std::string* err);
+bool layer_from_json(const Json& j, nn::Workload* out, std::string* err,
                      const NetworkResolver& resolver);
 
 /// Mapping spec mirrors mapping::Mapping: {"dram": {"order": [7 dim names,

@@ -25,9 +25,9 @@ namespace {
 /// memo; the evaluator's own cache key (which additionally fingerprints
 /// the search options) is what the result is stored under.
 std::uint64_t task_key(const arch::ArchConfig& arch,
-                       const nn::ConvLayer& layer) {
+                       const nn::Workload& layer) {
   return core::hash_mix(search::arch_fingerprint(arch),
-                        nn::ConvLayerShapeHash{}(layer));
+                        nn::LayerShapeHash{}(layer));
 }
 
 }  // namespace
@@ -94,16 +94,16 @@ std::vector<Json> EvalService::handle_batch(const std::vector<Json>& requests) {
   // by several requests (the common case: many clients asking about the
   // same architecture) is paid for once per batch instead of once per
   // request.
-  std::vector<std::pair<const arch::ArchConfig*, const nn::ConvLayer*>> tasks;
+  std::vector<std::pair<const arch::ArchConfig*, const nn::Workload*>> tasks;
   std::unordered_set<std::uint64_t> seen;
   const auto add_task = [&](const arch::ArchConfig& arch,
-                            const nn::ConvLayer& layer) {
+                            const nn::Workload& layer) {
     if (seen.insert(task_key(arch, layer)).second)
       tasks.emplace_back(&arch, &layer);
   };
   // unique_layers() returns by value; keep the expansions alive through the
   // fan-out below.
-  std::vector<std::vector<std::pair<nn::ConvLayer, int>>> expansions;
+  std::vector<std::vector<std::pair<nn::Workload, int>>> expansions;
   for (Plan& plan : plans) {
     if (!plan.error_code.empty() || !plan.has_task) continue;
     if (plan.network) {

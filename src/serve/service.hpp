@@ -131,7 +131,7 @@ class EvalService {
     std::string error_code;  ///< nonempty => error response
     std::string error;
     arch::ArchConfig arch;
-    nn::ConvLayer layer;
+    nn::Workload layer;
     bool has_task = false;  ///< contributes (arch, layer) search tasks
     const nn::Network* network = nullptr;  ///< owned by network_memo_
     mapping::Mapping map;

@@ -45,7 +45,7 @@ arch::ArchConfig fig7c_3d() {
 TEST(Arrays, OneDimensionalKParallelFullUtilization) {
   const cost::CostModel model;
   const auto arch = one_d(64, nn::Dim::kK);
-  const nn::ConvLayer layer = nn::make_conv("c", 64, 128, 3, 1, 28);
+  const nn::Workload layer = nn::make_conv("c", 64, 128, 3, 1, 28);
   const auto rep =
       model.evaluate(arch, layer, mapping::canonical_mapping(arch, layer));
   ASSERT_TRUE(rep.legal);
@@ -56,7 +56,7 @@ TEST(Arrays, OneDimensionalKParallelFullUtilization) {
 TEST(Arrays, OneDimensionalOddSplitWastes) {
   const cost::CostModel model;
   const auto arch = one_d(64, nn::Dim::kK);
-  const nn::ConvLayer layer = nn::make_conv("c", 64, 96, 3, 1, 28);
+  const nn::Workload layer = nn::make_conv("c", 64, 96, 3, 1, 28);
   const auto rep =
       model.evaluate(arch, layer, mapping::canonical_mapping(arch, layer));
   ASSERT_TRUE(rep.legal);
@@ -71,7 +71,7 @@ TEST(Arrays, Fig7c3dArrayIsValidAndEvaluates) {
   EXPECT_TRUE(arch::shidiannao_resources().allows(arch));
 
   const cost::CostModel model;
-  const nn::ConvLayer layer = nn::make_conv("vgg", 64, 64, 3, 1, 112);
+  const nn::Workload layer = nn::make_conv("vgg", 64, 64, 3, 1, 112);
   const auto rep =
       model.evaluate(arch, layer, mapping::canonical_mapping(arch, layer));
   ASSERT_TRUE(rep.legal) << rep.illegal_reason;
@@ -84,7 +84,7 @@ TEST(Arrays, ThreeDCombinesReductionAndBroadcast) {
   // C x K x X' parallel: C axis reduces, K and X' scatter outputs.
   const cost::CostModel model;
   const auto arch = fig7c_3d();
-  const nn::ConvLayer layer = nn::make_conv("c", 16, 24, 3, 1, 24);
+  const nn::Workload layer = nn::make_conv("c", 16, 24, 3, 1, 24);
   const auto rep =
       model.evaluate(arch, layer, mapping::canonical_mapping(arch, layer));
   ASSERT_TRUE(rep.legal);
@@ -94,7 +94,7 @@ TEST(Arrays, ThreeDCombinesReductionAndBroadcast) {
 TEST(Arrays, MappingSearchWorksOn3d) {
   const cost::CostModel model;
   const auto arch = fig7c_3d();
-  const nn::ConvLayer layer = nn::make_conv("c", 64, 128, 3, 1, 28);
+  const nn::Workload layer = nn::make_conv("c", 64, 128, 3, 1, 28);
   search::MappingSearchOptions opts;
   opts.population = 8;
   opts.iterations = 4;
@@ -106,7 +106,7 @@ TEST(Arrays, MappingSearchWorksOn3d) {
 TEST(Arrays, DepthwiseOn3dIdlesReductionAxis) {
   const cost::CostModel model;
   const auto arch = fig7c_3d();  // C axis of 4 idles on depthwise
-  const nn::ConvLayer dw = nn::make_dwconv("dw", 96, 3, 1, 56);
+  const nn::Workload dw = nn::make_dwconv("dw", 96, 3, 1, 56);
   const auto rep =
       model.evaluate(arch, dw, mapping::canonical_mapping(arch, dw));
   ASSERT_TRUE(rep.legal);
@@ -116,7 +116,7 @@ TEST(Arrays, DepthwiseOn3dIdlesReductionAxis) {
 TEST(Arrays, MoreParallelAxesNeverIncreaseComputeCycles) {
   // Adding a third axis (more PEs) cannot slow the compute roofline.
   const cost::CostModel model;
-  const nn::ConvLayer layer = nn::make_conv("c", 64, 64, 3, 1, 56);
+  const nn::Workload layer = nn::make_conv("c", 64, 64, 3, 1, 56);
   arch::ArchConfig two_d = fig7c_3d();
   two_d.num_array_dims = 2;  // 4x6 = 24 PEs
   const auto r2 =

@@ -29,7 +29,7 @@ TEST(Canonical, OutputStationaryReducesInnermost) {
 }
 
 TEST(Canonical, MappingIsLegalOnAllPresets) {
-  const nn::ConvLayer layers[] = {
+  const nn::Workload layers[] = {
       nn::make_conv("big", 256, 512, 3, 1, 28),
       nn::make_conv("stem", 3, 64, 7, 2, 112),
       nn::make_dwconv("dw", 96, 3, 2, 56),
@@ -49,7 +49,7 @@ TEST(Canonical, MappingIsLegalOnAllPresets) {
 
 TEST(Canonical, DataflowSelectsMatchingOrder) {
   const auto arch = arch::nvdla_256_arch();
-  const nn::ConvLayer l = nn::make_conv("c", 64, 64, 3, 1, 14);
+  const nn::Workload l = nn::make_conv("c", 64, 64, 3, 1, 14);
   const Mapping ws =
       canonical_mapping(arch, l, arch::Dataflow::kWeightStationary);
   EXPECT_EQ(ws.pe.order, weight_stationary_order());
@@ -62,7 +62,7 @@ TEST(Canonical, TilesAreMaximalWithinCapacity) {
   // On a huge L2, the canonical mapping should keep the whole layer as one
   // L2 tile (no DRAM refetch).
   auto arch = arch::edge_tpu_arch();
-  const nn::ConvLayer l = nn::make_conv("c", 64, 64, 3, 1, 28);
+  const nn::Workload l = nn::make_conv("c", 64, 64, 3, 1, 28);
   const Mapping m = canonical_mapping(arch, l);
   for (nn::Dim d : nn::all_dims())
     EXPECT_EQ(tile_of(m.dram.tile, d), l.dim_size(d)) << nn::dim_name(d);

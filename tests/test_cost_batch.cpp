@@ -39,7 +39,7 @@ std::string serialize_report(const CostReport& r) {
   return w.bytes();
 }
 
-nn::ConvLayer random_layer(core::Rng& rng) {
+nn::Workload random_layer(core::Rng& rng) {
   const int kernel = 1 + 2 * rng.uniform_int(0, 2);  // 1, 3, 5
   const int stride = rng.uniform_int(1, 2);
   const int out_hw = rng.uniform_int(1, 28);
@@ -89,7 +89,7 @@ mapping::LoopOrder random_order(core::Rng& rng, bool allow_invalid) {
 /// Candidate generator mixing repaired-legal, perturbed, out-of-range, and
 /// malformed-order mappings so every legality branch is exercised.
 mapping::Mapping random_candidate(core::Rng& rng, const arch::ArchConfig& arch,
-                                  const nn::ConvLayer& layer) {
+                                  const nn::Workload& layer) {
   mapping::Mapping m;
   m.dram.order = random_order(rng, true);
   m.pe.order = random_order(rng, true);
@@ -110,7 +110,7 @@ mapping::Mapping random_candidate(core::Rng& rng, const arch::ArchConfig& arch,
 /// byte for byte.
 void expect_batch_matches_scalar(const CostModel& model,
                                  const arch::ArchConfig& arch,
-                                 const nn::ConvLayer& layer,
+                                 const nn::Workload& layer,
                                  const std::vector<mapping::Mapping>& cands,
                                  std::size_t batch_size) {
   std::vector<std::string> scalar;
@@ -137,7 +137,7 @@ TEST(CostBatch, MatchesScalarForAnyBatchSizeOnRandomWorkloads) {
   const CostModel model;
   core::Rng rng(20260726);
   for (int round = 0; round < 40; ++round) {
-    const nn::ConvLayer layer = random_layer(rng);
+    const nn::Workload layer = random_layer(rng);
     const arch::ArchConfig arch = random_arch(rng);
     std::vector<mapping::Mapping> cands;
     for (int i = 0; i < 24; ++i)
@@ -157,7 +157,7 @@ TEST(CostBatch, LegalityReasonsMatchMappingCheck) {
   core::Rng rng(4242);
   int illegal_seen = 0;
   for (int round = 0; round < 200; ++round) {
-    const nn::ConvLayer layer = random_layer(rng);
+    const nn::Workload layer = random_layer(rng);
     const arch::ArchConfig arch = random_arch(rng);
     if (!arch.valid()) continue;
     const mapping::Mapping m = random_candidate(rng, arch, layer);

@@ -29,11 +29,11 @@ arch::ArchConfig tiny_arch() {
 }
 
 /// 1x1x1 conv, K=C=Y'=X'=4: macs = 256, input 64, weights 16, outputs 64.
-nn::ConvLayer tiny_layer() { return nn::make_conv("t", 4, 4, 1, 1, 4); }
+nn::Workload tiny_layer() { return nn::make_conv("t", 4, 4, 1, 1, 4); }
 
 /// Single L2 tile (= whole layer), per-PE tile = full share.
 mapping::Mapping tiny_mapping(const arch::ArchConfig& arch,
-                              const nn::ConvLayer& l) {
+                              const nn::Workload& l) {
   mapping::Mapping m;
   for (nn::Dim d : nn::all_dims()) {
     set_tile(m.dram.tile, d, l.dim_size(d));
@@ -124,7 +124,7 @@ TEST(CostModel, LoopOrderControlsDramTraffic) {
   arch.l2_bytes = 128;
   arch.noc_bandwidth = 8;
   arch.dram_bandwidth = 4;
-  const nn::ConvLayer layer = nn::make_conv("m", 8, 8, 1, 1, 8);
+  const nn::Workload layer = nn::make_conv("m", 8, 8, 1, 1, 8);
 
   auto tiled = [&](const mapping::LoopOrder& order) {
     mapping::Mapping m;
@@ -166,7 +166,7 @@ TEST(CostModel, DepthwiseStarvesCParallelArrays) {
   // rows. This is the utilization cliff NAAS exploits on MobileNet.
   const CostModel model;
   const auto arch = arch::nvdla_256_arch();
-  const nn::ConvLayer dw = nn::make_dwconv("dw", 96, 3, 1, 56);
+  const nn::Workload dw = nn::make_dwconv("dw", 96, 3, 1, 56);
   const auto rep =
       model.evaluate(arch, dw, mapping::canonical_mapping(arch, dw));
   ASSERT_TRUE(rep.legal);
@@ -177,7 +177,7 @@ TEST(CostModel, SmallKernelStarvesEyerissRows) {
   // Eyeriss binds R to its 12 rows; R=3 uses at most 3/12 of the array.
   const CostModel model;
   const auto arch = arch::eyeriss_arch();
-  const nn::ConvLayer conv = nn::make_conv("c", 64, 64, 3, 1, 28);
+  const nn::Workload conv = nn::make_conv("c", 64, 64, 3, 1, 28);
   const auto rep =
       model.evaluate(arch, conv, mapping::canonical_mapping(arch, conv));
   ASSERT_TRUE(rep.legal);
@@ -190,7 +190,7 @@ TEST(CostModel, CeilPaddingLowersUtilization) {
   arch.num_array_dims = 1;
   arch.array_dims = {2, 1, 1};
   arch.parallel_dims = {nn::Dim::kK, nn::Dim::kC, nn::Dim::kXp};
-  const nn::ConvLayer layer = nn::make_conv("odd", 1, 5, 1, 1, 1);
+  const nn::Workload layer = nn::make_conv("odd", 1, 5, 1, 1, 1);
   const auto m = tiny_mapping(arch, layer);
   const auto rep = CostModel{}.evaluate(arch, layer, m);
   ASSERT_TRUE(rep.legal);
@@ -236,7 +236,7 @@ TEST(CostModel, SinglePhaseTrafficIsCompulsoryForAnyParallelism) {
   // With the whole layer as one L2 tile, DRAM traffic equals the compulsory
   // footprint no matter which dims are parallelized — slices of one phase
   // tile the tensors exactly (halo-aware multicast for the input).
-  const nn::ConvLayer layer = nn::make_conv("c", 4, 4, 3, 1, 8);
+  const nn::Workload layer = nn::make_conv("c", 4, 4, 3, 1, 8);
   const double compulsory =
       static_cast<double>(layer.input_elems() + layer.weight_elems() +
                           layer.output_elems());
@@ -258,7 +258,7 @@ TEST(CostModel, SinglePhaseTrafficIsCompulsoryForAnyParallelism) {
 TEST(CostModel, EnergyAtLeastMacFloor) {
   const CostModel model;
   const auto arch = arch::nvdla_256_arch();
-  const nn::ConvLayer conv = nn::make_conv("c", 64, 64, 3, 1, 28);
+  const nn::Workload conv = nn::make_conv("c", 64, 64, 3, 1, 28);
   const auto rep =
       model.evaluate(arch, conv, mapping::canonical_mapping(arch, conv));
   ASSERT_TRUE(rep.legal);

@@ -89,7 +89,7 @@ INSTANTIATE_TEST_SUITE_P(
 /// network down under the canonical-mapping policy.
 TEST(CostScaling, MorePesNeverSlowerOnConv) {
   const cost::CostModel model;
-  const nn::ConvLayer layer = nn::make_conv("c", 128, 256, 3, 1, 28);
+  const nn::Workload layer = nn::make_conv("c", 128, 256, 3, 1, 28);
   arch::ArchConfig small = arch::nvdla_256_arch();   // 16x16
   arch::ArchConfig big = arch::nvdla_1024_arch();    // 32x32, bigger buffers
   const auto rs =
@@ -105,8 +105,8 @@ TEST(CostScaling, MorePesNeverSlowerOnConv) {
 TEST(CostScaling, BatchMonotone) {
   const cost::CostModel model;
   const auto arch = arch::nvdla_256_arch();
-  const nn::ConvLayer b1 = nn::make_conv("c", 64, 64, 3, 1, 28, 1);
-  const nn::ConvLayer b2 = nn::make_conv("c", 64, 64, 3, 1, 28, 2);
+  const nn::Workload b1 = nn::make_conv("c", 64, 64, 3, 1, 28, 1);
+  const nn::Workload b2 = nn::make_conv("c", 64, 64, 3, 1, 28, 2);
   const auto r1 = model.evaluate(arch, b1, mapping::canonical_mapping(arch, b1));
   const auto r2 = model.evaluate(arch, b2, mapping::canonical_mapping(arch, b2));
   ASSERT_TRUE(r1.legal && r2.legal);
@@ -118,7 +118,7 @@ TEST(CostScaling, BatchMonotone) {
 TEST(CostScaling, EvaluationIsDeterministic) {
   const cost::CostModel model;
   const auto arch = arch::eyeriss_arch();
-  const nn::ConvLayer layer = nn::make_conv("c", 96, 96, 3, 1, 28);
+  const nn::Workload layer = nn::make_conv("c", 96, 96, 3, 1, 28);
   const auto m = mapping::canonical_mapping(arch, layer);
   const auto a = model.evaluate(arch, layer, m);
   const auto b = model.evaluate(arch, layer, m);

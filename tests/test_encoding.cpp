@@ -168,7 +168,7 @@ TEST(Encoding, MapGenomeSizes) {
 TEST(Encoding, MapDecodeAlwaysLegal) {
   const arch::ArchConfig archs[] = {arch::nvdla_256_arch(),
                                     arch::eyeriss_arch()};
-  const nn::ConvLayer layers[] = {
+  const nn::Workload layers[] = {
       nn::make_conv("c", 64, 128, 3, 1, 28),
       nn::make_dwconv("dw", 96, 3, 2, 56),
       nn::make_fc("fc", 512, 1000),
@@ -197,7 +197,7 @@ TEST(Encoding, MapDecodeFixedOrderUsesDataflow) {
   spec.search_order = false;
   spec.fixed_dataflow = arch::Dataflow::kOutputStationary;
   const auto arch = arch::nvdla_256_arch();
-  const nn::ConvLayer layer = nn::make_conv("c", 32, 32, 3, 1, 14);
+  const nn::Workload layer = nn::make_conv("c", 32, 32, 3, 1, 14);
   std::vector<double> g(static_cast<std::size_t>(spec.genome_size()), 0.5);
   const auto m = spec.decode(g, arch, layer);
   EXPECT_EQ(m.dram.order, mapping::output_stationary_order());

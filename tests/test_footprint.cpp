@@ -5,7 +5,7 @@
 namespace naas::mapping {
 namespace {
 
-nn::ConvLayer conv() { return nn::make_conv("c", 16, 32, 3, 1, 28); }
+nn::Workload conv() { return nn::make_conv("c", 16, 32, 3, 1, 28); }
 
 TileSizes tiles(int n, int k, int c, int yp, int xp, int r, int s) {
   TileSizes t{};
@@ -36,14 +36,14 @@ TEST(Footprint, HaloAccountsKernelAndStride) {
 }
 
 TEST(Footprint, StrideTwoDoublesHaloSpacing) {
-  const nn::ConvLayer l = nn::make_conv("s2", 8, 8, 3, 2, 14);
+  const nn::Workload l = nn::make_conv("s2", 8, 8, 3, 2, 14);
   const auto fp = tile_footprint(l, tiles(1, 1, 1, 4, 1, 3, 3));
   // (4-1)*2 + 3 = 9 input rows; (1-1)*2 + 3 = 3 input cols.
   EXPECT_EQ(fp.input, 9 * 3);
 }
 
 TEST(Footprint, FullTileMatchesLayerTotals) {
-  const nn::ConvLayer l = conv();
+  const nn::Workload l = conv();
   const auto fp = tile_footprint(
       l, tiles(1, 32, 16, 28, 28, 3, 3));
   EXPECT_EQ(fp.input, l.input_elems());
@@ -58,7 +58,7 @@ TEST(Footprint, ClampsOversizedTiles) {
 }
 
 TEST(Footprint, DepthwiseWalksChannelsViaK) {
-  const nn::ConvLayer dw = nn::make_dwconv("dw", 32, 3, 1, 14);
+  const nn::Workload dw = nn::make_dwconv("dw", 32, 3, 1, 14);
   const auto fp = tile_footprint(dw, tiles(1, 8, 1, 2, 2, 3, 3));
   // 8 channels (from K), 4x4 halo patch.
   EXPECT_EQ(fp.input, 8 * 4 * 4);

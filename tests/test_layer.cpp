@@ -6,7 +6,7 @@ namespace naas::nn {
 namespace {
 
 TEST(Layer, DimSizeRoundTrip) {
-  const ConvLayer l = make_conv("c", 16, 32, 3, 1, 56);
+  const Workload l = make_conv("c", 16, 32, 3, 1, 56);
   EXPECT_EQ(l.dim_size(Dim::kN), 1);
   EXPECT_EQ(l.dim_size(Dim::kK), 32);
   EXPECT_EQ(l.dim_size(Dim::kC), 16);
@@ -17,12 +17,12 @@ TEST(Layer, DimSizeRoundTrip) {
 }
 
 TEST(Layer, MacsMatchesClosedForm) {
-  const ConvLayer l = make_conv("c", 16, 32, 3, 1, 56);
+  const Workload l = make_conv("c", 16, 32, 3, 1, 56);
   EXPECT_EQ(l.macs(), 1LL * 32 * 16 * 56 * 56 * 3 * 3);
 }
 
 TEST(Layer, ElementCounts) {
-  const ConvLayer l = make_conv("c", 4, 8, 3, 1, 6);
+  const Workload l = make_conv("c", 4, 8, 3, 1, 6);
   // input spatial derived from output: (6-1)*1 + 3 = 8
   EXPECT_EQ(l.input_elems(), 1LL * 4 * 8 * 8);
   EXPECT_EQ(l.weight_elems(), 8LL * 4 * 3 * 3);
@@ -30,13 +30,13 @@ TEST(Layer, ElementCounts) {
 }
 
 TEST(Layer, StridedInputExtent) {
-  const ConvLayer l = make_conv("c", 3, 8, 3, 2, 10);
+  const Workload l = make_conv("c", 3, 8, 3, 2, 10);
   EXPECT_EQ(l.input_rows_for(10), (10 - 1) * 2 + 3);
   EXPECT_EQ(l.input_cols_for(1), 3);
 }
 
 TEST(Layer, DepthwiseHasUnitCAndKChannels) {
-  const ConvLayer l = make_dwconv("dw", 32, 3, 1, 14);
+  const Workload l = make_dwconv("dw", 32, 3, 1, 14);
   EXPECT_EQ(l.kind, LayerKind::kDepthwiseConv);
   EXPECT_EQ(l.in_channels, 1);
   EXPECT_EQ(l.out_channels, 32);
@@ -47,7 +47,7 @@ TEST(Layer, DepthwiseHasUnitCAndKChannels) {
 }
 
 TEST(Layer, FullyConnectedAsPointwise) {
-  const ConvLayer l = make_fc("fc", 512, 1000);
+  const Workload l = make_fc("fc", 512, 1000);
   EXPECT_EQ(l.kind, LayerKind::kFullyConnected);
   EXPECT_EQ(l.macs(), 512LL * 1000);
   EXPECT_EQ(l.output_elems(), 1000);
@@ -55,25 +55,25 @@ TEST(Layer, FullyConnectedAsPointwise) {
 }
 
 TEST(Layer, BatchScalesCounts) {
-  const ConvLayer l = make_conv("c", 4, 4, 1, 1, 8, /*batch=*/3);
+  const Workload l = make_conv("c", 4, 4, 1, 1, 8, /*batch=*/3);
   EXPECT_EQ(l.macs(), 3LL * 4 * 4 * 8 * 8);
   EXPECT_EQ(l.output_elems(), 3LL * 4 * 8 * 8);
 }
 
 TEST(Layer, ShapeHashIgnoresName) {
-  ConvLayer a = make_conv("a", 4, 8, 3, 1, 6);
-  ConvLayer b = make_conv("b", 4, 8, 3, 1, 6);
-  EXPECT_TRUE(ConvLayerShapeEq{}(a, b));
-  EXPECT_EQ(ConvLayerShapeHash{}(a), ConvLayerShapeHash{}(b));
+  Workload a = make_conv("a", 4, 8, 3, 1, 6);
+  Workload b = make_conv("b", 4, 8, 3, 1, 6);
+  EXPECT_TRUE(LayerShapeEq{}(a, b));
+  EXPECT_EQ(LayerShapeHash{}(a), LayerShapeHash{}(b));
   EXPECT_FALSE(a == b);  // full equality includes the name
 }
 
 TEST(Layer, ShapeHashDiscriminatesShapes) {
-  const ConvLayer a = make_conv("x", 4, 8, 3, 1, 6);
-  ConvLayer b = a;
+  const Workload a = make_conv("x", 4, 8, 3, 1, 6);
+  Workload b = a;
   b.stride = 2;
-  EXPECT_FALSE(ConvLayerShapeEq{}(a, b));
-  EXPECT_NE(ConvLayerShapeHash{}(a), ConvLayerShapeHash{}(b));
+  EXPECT_FALSE(LayerShapeEq{}(a, b));
+  EXPECT_NE(LayerShapeHash{}(a), LayerShapeHash{}(b));
 }
 
 TEST(Layer, DimNamesMatchPaperNotation) {
@@ -83,7 +83,7 @@ TEST(Layer, DimNamesMatchPaperNotation) {
 }
 
 TEST(Layer, ToStringContainsEssentials) {
-  const ConvLayer l = make_conv("conv1", 3, 64, 7, 2, 112);
+  const Workload l = make_conv("conv1", 3, 64, 7, 2, 112);
   const std::string s = l.to_string();
   EXPECT_NE(s.find("conv1"), std::string::npos);
   EXPECT_NE(s.find("3x64"), std::string::npos);

@@ -8,9 +8,9 @@
 namespace naas::mapping {
 namespace {
 
-nn::ConvLayer conv() { return nn::make_conv("c", 64, 128, 3, 1, 28); }
+nn::Workload conv() { return nn::make_conv("c", 64, 128, 3, 1, 28); }
 
-Mapping full_tiles(const nn::ConvLayer& l) {
+Mapping full_tiles(const nn::Workload& l) {
   Mapping m;
   for (nn::Dim d : nn::all_dims()) {
     set_tile(m.dram.tile, d, l.dim_size(d));
@@ -21,7 +21,7 @@ Mapping full_tiles(const nn::ConvLayer& l) {
 
 TEST(Legality, PeShareDividesByParallelExtent) {
   const auto arch = arch::nvdla_256_arch();  // 16x16 C x K
-  const nn::ConvLayer l = conv();
+  const nn::Workload l = conv();
   TileSizes t2{};
   for (nn::Dim d : nn::all_dims()) set_tile(t2, d, l.dim_size(d));
   EXPECT_EQ(pe_share(l, arch, t2, nn::Dim::kC), 4);   // 64/16
@@ -31,7 +31,7 @@ TEST(Legality, PeShareDividesByParallelExtent) {
 
 TEST(Legality, PeShareCeils) {
   const auto arch = arch::eyeriss_arch();  // 12 x 14, R x Y'
-  const nn::ConvLayer l = conv();          // R=3, Yp=28
+  const nn::Workload l = conv();          // R=3, Yp=28
   TileSizes t2{};
   for (nn::Dim d : nn::all_dims()) set_tile(t2, d, l.dim_size(d));
   EXPECT_EQ(pe_share(l, arch, t2, nn::Dim::kR), 1);   // ceil(3/12)
@@ -40,7 +40,7 @@ TEST(Legality, PeShareCeils) {
 
 TEST(Legality, CheckRejectsBadOrder) {
   const auto arch = arch::nvdla_256_arch();
-  const nn::ConvLayer l = conv();
+  const nn::Workload l = conv();
   Mapping m = repair(full_tiles(l), l, arch);
   m.dram.order[0] = m.dram.order[1];
   const auto rep = check(m, l, arch);
@@ -50,7 +50,7 @@ TEST(Legality, CheckRejectsBadOrder) {
 
 TEST(Legality, CheckRejectsOversizedDramTile) {
   const auto arch = arch::nvdla_256_arch();
-  const nn::ConvLayer l = conv();
+  const nn::Workload l = conv();
   Mapping m = repair(full_tiles(l), l, arch);
   set_tile(m.dram.tile, nn::Dim::kK, l.out_channels + 1);
   EXPECT_FALSE(check(m, l, arch).legal);
@@ -58,7 +58,7 @@ TEST(Legality, CheckRejectsOversizedDramTile) {
 
 TEST(Legality, CheckRejectsPeTileBeyondShare) {
   const auto arch = arch::nvdla_256_arch();
-  const nn::ConvLayer l = conv();
+  const nn::Workload l = conv();
   Mapping m = repair(full_tiles(l), l, arch);
   set_tile(m.pe.tile, nn::Dim::kK,
            pe_share(l, arch, m.dram.tile, nn::Dim::kK) + 1);
@@ -68,7 +68,7 @@ TEST(Legality, CheckRejectsPeTileBeyondShare) {
 TEST(Legality, CheckRejectsL1Overflow) {
   auto arch = arch::nvdla_256_arch();
   arch.l1_bytes = 4;  // nothing fits
-  const nn::ConvLayer l = conv();
+  const nn::Workload l = conv();
   Mapping m = full_tiles(l);
   set_tile(m.pe.tile, nn::Dim::kYp, 4);
   const auto rep = check(m, l, arch);
@@ -77,7 +77,7 @@ TEST(Legality, CheckRejectsL1Overflow) {
 
 TEST(Legality, RepairProducesLegalMappingFromGarbage) {
   const auto arch = arch::eyeriss_arch();
-  const nn::ConvLayer l = conv();
+  const nn::Workload l = conv();
   Mapping garbage;
   garbage.dram.order[0] = garbage.dram.order[3];  // invalid order
   for (nn::Dim d : nn::all_dims()) {
@@ -91,7 +91,7 @@ TEST(Legality, RepairProducesLegalMappingFromGarbage) {
 
 TEST(Legality, RepairKeepsAlreadyLegalMappingIntact) {
   const auto arch = arch::nvdla_256_arch();
-  const nn::ConvLayer l = conv();
+  const nn::Workload l = conv();
   Mapping m;
   for (nn::Dim d : nn::all_dims()) {
     set_tile(m.dram.tile, d, 1);
@@ -105,7 +105,7 @@ TEST(Legality, RepairKeepsAlreadyLegalMappingIntact) {
 TEST(Legality, RepairRespectsShrinkPriority) {
   auto arch = arch::nvdla_256_arch();
   arch.l1_bytes = 64;
-  const nn::ConvLayer l = conv();
+  const nn::Workload l = conv();
   Mapping m = full_tiles(l);
   // Priority shrinks X' first: after repair X' should be the most reduced.
   ShrinkPriority prio{nn::Dim::kXp, nn::Dim::kYp, nn::Dim::kN, nn::Dim::kK,
@@ -120,7 +120,7 @@ TEST(Legality, RepairHandlesTinyBuffers) {
   auto arch = arch::nvdla_256_arch();
   arch.l1_bytes = 3;   // exactly one element of each operand
   arch.l2_bytes = 16;
-  const nn::ConvLayer l = conv();
+  const nn::Workload l = conv();
   const Mapping fixed = repair(full_tiles(l), l, arch);
   EXPECT_TRUE(check(fixed, l, arch).legal);
 }
@@ -128,7 +128,7 @@ TEST(Legality, RepairHandlesTinyBuffers) {
 TEST(Legality, RepairReclampsPeTileAfterL2Shrink) {
   auto arch = arch::nvdla_256_arch();
   arch.l2_bytes = 2048;  // force heavy L2 shrinking
-  const nn::ConvLayer l = conv();
+  const nn::Workload l = conv();
   const Mapping fixed = repair(full_tiles(l), l, arch);
   const auto rep = check(fixed, l, arch);
   EXPECT_TRUE(rep.legal) << rep.reason;
@@ -140,7 +140,7 @@ TEST(Legality, RepairReclampsPeTileAfterL2Shrink) {
 
 TEST(GrowToFit, FillsBuffersWithoutOverflow) {
   const auto arch = arch::nvdla_256_arch();
-  const nn::ConvLayer l = conv();
+  const nn::Workload l = conv();
   Mapping m;  // all-ones tiles: trivially legal, massively undersized
   const Mapping grown = grow_to_fit(m, l, arch, default_shrink_priority(),
                                     default_shrink_priority());
@@ -153,7 +153,7 @@ TEST(GrowToFit, FillsBuffersWithoutOverflow) {
 TEST(GrowToFit, RespectsPriorityOrder) {
   auto arch = arch::nvdla_256_arch();
   arch.l2_bytes = 8 * 1024;  // tight: only the first-priority dims grow
-  const nn::ConvLayer l = conv();
+  const nn::Workload l = conv();
   Mapping m;
   ShrinkPriority k_first{nn::Dim::kK, nn::Dim::kC, nn::Dim::kYp,
                          nn::Dim::kXp, nn::Dim::kN, nn::Dim::kR, nn::Dim::kS};
@@ -169,7 +169,7 @@ TEST(GrowToFit, RespectsPriorityOrder) {
 
 TEST(GrowToFit, NeverShrinksTiles) {
   const auto arch = arch::eyeriss_arch();
-  const nn::ConvLayer l = conv();
+  const nn::Workload l = conv();
   Mapping m = repair(full_tiles(l), l, arch);
   const Mapping grown = grow_to_fit(m, l, arch, default_shrink_priority(),
                                     default_shrink_priority());
@@ -182,7 +182,7 @@ TEST(GrowToFit, NeverShrinksTiles) {
 
 TEST(GrowToFit, PeTilesStayWithinShares) {
   const auto arch = arch::shidiannao_arch();
-  const nn::ConvLayer l = nn::make_conv("big", 256, 512, 3, 1, 56);
+  const nn::Workload l = nn::make_conv("big", 256, 512, 3, 1, 56);
   Mapping m;
   const Mapping grown = grow_to_fit(m, l, arch, default_shrink_priority(),
                                     default_shrink_priority());

@@ -22,7 +22,7 @@ MappingSearchOptions small_budget(std::uint64_t seed = 1) {
 TEST(MappingSearch, ReturnsLegalMapping) {
   const cost::CostModel model;
   const auto arch = arch::nvdla_256_arch();
-  const nn::ConvLayer layer = nn::make_conv("c", 64, 128, 3, 1, 28);
+  const nn::Workload layer = nn::make_conv("c", 64, 128, 3, 1, 28);
   const auto res = search_mapping(model, arch, layer, small_budget());
   EXPECT_TRUE(std::isfinite(res.best_edp));
   EXPECT_TRUE(mapping::check(res.best, layer, arch).legal);
@@ -32,7 +32,7 @@ TEST(MappingSearch, ReturnsLegalMapping) {
 TEST(MappingSearch, BeatsOrMatchesCanonicalWhenSeeded) {
   const cost::CostModel model;
   const auto arch = arch::eyeriss_arch();
-  const nn::ConvLayer layer = nn::make_conv("c", 96, 96, 3, 1, 28);
+  const nn::Workload layer = nn::make_conv("c", 96, 96, 3, 1, 28);
   const auto res = search_mapping(model, arch, layer, small_budget());
   double best_canonical = std::numeric_limits<double>::infinity();
   for (auto df : {arch::Dataflow::kWeightStationary,
@@ -51,7 +51,7 @@ TEST(MappingSearch, SearchImprovesOverCanonicalOnSomeLayer) {
   // pointless).
   const cost::CostModel model;
   const auto arch = arch::nvdla_256_arch();
-  const nn::ConvLayer layers[] = {
+  const nn::Workload layers[] = {
       nn::make_conv("a", 64, 128, 3, 1, 28),
       nn::make_conv("b", 256, 256, 3, 1, 14),
       nn::make_dwconv("c", 96, 3, 1, 56),
@@ -78,7 +78,7 @@ TEST(MappingSearch, SearchImprovesOverCanonicalOnSomeLayer) {
 TEST(MappingSearch, DeterministicForSeed) {
   const cost::CostModel model;
   const auto arch = arch::shidiannao_arch();
-  const nn::ConvLayer layer = nn::make_conv("c", 32, 64, 3, 1, 28);
+  const nn::Workload layer = nn::make_conv("c", 32, 64, 3, 1, 28);
   const auto a = search_mapping(model, arch, layer, small_budget(5));
   const auto b = search_mapping(model, arch, layer, small_budget(5));
   EXPECT_DOUBLE_EQ(a.best_edp, b.best_edp);
@@ -91,7 +91,7 @@ TEST(MappingSearch, ShardedBatchesMatchSerialForAwkwardThreadCounts) {
   // 8 threads once rounded a shard past the end of the batch).
   const cost::CostModel model;
   const auto arch = arch::nvdla_256_arch();
-  const nn::ConvLayer layer = nn::make_conv("c", 32, 64, 3, 1, 28);
+  const nn::Workload layer = nn::make_conv("c", 32, 64, 3, 1, 28);
   MappingSearchOptions opts = small_budget(3);
   opts.population = 12;
   const auto serial = search_mapping(model, arch, layer, opts);
@@ -110,7 +110,7 @@ TEST(MappingSearch, ShardedBatchesMatchSerialForAwkwardThreadCounts) {
 TEST(MappingSearch, UnseededStillFindsLegalMapping) {
   const cost::CostModel model;
   const auto arch = arch::nvdla_256_arch();
-  const nn::ConvLayer layer = nn::make_fc("fc", 4096, 1000);
+  const nn::Workload layer = nn::make_fc("fc", 4096, 1000);
   MappingSearchOptions opts = small_budget(3);
   opts.seed_canonical = false;
   const auto res = search_mapping(model, arch, layer, opts);
@@ -121,7 +121,7 @@ TEST(MappingSearch, UnseededStillFindsLegalMapping) {
 TEST(MappingSearch, ReportMatchesBestMapping) {
   const cost::CostModel model;
   const auto arch = arch::eyeriss_arch();
-  const nn::ConvLayer layer = nn::make_conv("c", 48, 48, 3, 1, 14);
+  const nn::Workload layer = nn::make_conv("c", 48, 48, 3, 1, 14);
   const auto res = search_mapping(model, arch, layer, small_budget(9));
   const auto rep = model.evaluate(arch, layer, res.best);
   EXPECT_DOUBLE_EQ(rep.edp, res.best_edp);
@@ -131,7 +131,7 @@ TEST(MappingSearch, ReportMatchesBestMapping) {
 TEST(MappingSearch, MoreBudgetNeverWorse) {
   const cost::CostModel model;
   const auto arch = arch::nvdla_1024_arch();
-  const nn::ConvLayer layer = nn::make_conv("c", 128, 256, 3, 1, 14);
+  const nn::Workload layer = nn::make_conv("c", 128, 256, 3, 1, 14);
   MappingSearchOptions tiny = small_budget(21);
   tiny.population = 6;
   tiny.iterations = 2;

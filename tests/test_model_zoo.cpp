@@ -91,6 +91,56 @@ TEST(ModelZoo, BatchPropagatesToAllLayers) {
   for (const auto& l : n.layers()) EXPECT_EQ(l.batch, 2);
 }
 
+TEST(ModelZoo, BertBaseEncoderStructure) {
+  const Network n = make_bert_base_encoder();
+  EXPECT_EQ(n.num_layers(), 12 * 8);  // 12 blocks x 8 dense ops
+  int matmuls = 0, attentions = 0;
+  for (const auto& l : n.layers()) {
+    if (l.kind == LayerKind::kMatmul) ++matmuls;
+    if (l.kind == LayerKind::kAttention) ++attentions;
+  }
+  EXPECT_EQ(matmuls, 12 * 6);
+  EXPECT_EQ(attentions, 12 * 2);
+  // BERT-base at seq 128: 12 x (4 x 128*768*768 + 2 x 128*768*3072
+  // + 12 heads x 2 x 128*128*64) MACs.
+  const long long per_block = 4LL * 128 * 768 * 768 +
+                              2LL * 128 * 768 * 3072 +
+                              2LL * 12 * 128 * 128 * 64;
+  EXPECT_EQ(n.total_macs(), 12 * per_block);
+}
+
+TEST(ModelZoo, VitB16BridgesConvAndMatmulWorlds) {
+  const Network n = make_vit_b16_encoder();
+  EXPECT_EQ(n.layers().front().kind, LayerKind::kConv);  // patch embed
+  EXPECT_EQ(n.layers().front().kernel_h, 16);
+  EXPECT_EQ(n.layers().front().stride, 16);
+  EXPECT_EQ(n.layers().back().kind, LayerKind::kFullyConnected);
+  // All encoder matmuls run at seq 197 (196 patches + CLS).
+  EXPECT_EQ(n.layers()[1].out_h, 197);
+}
+
+TEST(ModelZoo, LlmDecodeIsSingleTokenAgainstKvCache) {
+  const Network n = make_llm_decode(2048);
+  for (const auto& l : n.layers()) {
+    EXPECT_EQ(l.out_h, 1) << l.name;  // decode: one query token
+    EXPECT_NE(l.kind, LayerKind::kConv) << l.name;
+  }
+  // The attention scores read the full KV cache per head.
+  const auto& qk = n.layers()[3];
+  EXPECT_EQ(qk.kind, LayerKind::kAttention);
+  EXPECT_EQ(qk.out_channels, 2048);  // seq_kv
+  EXPECT_EQ(qk.batch, 32);           // heads
+  // The 8k variant resolves by name and scales the KV dimension.
+  const Network big = make_network("llm_decode_8k");
+  EXPECT_EQ(big.layers()[3].out_channels, 8192);
+}
+
+TEST(ModelZoo, TransformerLookupByName) {
+  EXPECT_EQ(make_network("bert_base_encoder").name(), "BertBaseEncoder");
+  EXPECT_EQ(make_network("vit_b16_encoder").name(), "ViTB16Encoder");
+  EXPECT_EQ(make_network("llm_decode").name(), "LlmDecode2048");
+}
+
 TEST(ModelZoo, ChannelChainingIsConsistent) {
   // Every conv's input channels must match some producer's output channels;
   // spot-check the sequential stages of VGG.

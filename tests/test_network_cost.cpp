@@ -50,7 +50,7 @@ TEST(NetworkCost, CustomProviderIsUsed) {
   int calls = 0;
   const NetworkCost nc = evaluate_network(
       model, arch, net,
-      [&calls](const arch::ArchConfig& a, const nn::ConvLayer& l) {
+      [&calls](const arch::ArchConfig& a, const nn::Workload& l) {
         ++calls;
         return mapping::canonical_mapping(a, l);
       });
@@ -64,7 +64,7 @@ TEST(NetworkCost, IllegalLayerPoisonsNetwork) {
   const nn::Network net = nn::make_cifar_net();
   const NetworkCost nc = evaluate_network(
       model, arch, net,
-      [](const arch::ArchConfig& a, const nn::ConvLayer& l) {
+      [](const arch::ArchConfig& a, const nn::Workload& l) {
         mapping::Mapping m = mapping::canonical_mapping(a, l);
         mapping::set_tile(m.pe.tile, nn::Dim::kYp, 10000);  // illegal
         return m;

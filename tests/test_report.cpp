@@ -12,7 +12,7 @@ namespace {
 TEST(Report, LayerReportContainsAllSections) {
   const CostModel model;
   const auto arch = arch::nvdla_256_arch();
-  const nn::ConvLayer layer = nn::make_conv("c", 64, 64, 3, 1, 28);
+  const nn::Workload layer = nn::make_conv("c", 64, 64, 3, 1, 28);
   const auto rep =
       model.evaluate(arch, layer, mapping::canonical_mapping(arch, layer));
   const std::string s = format_report(rep);
@@ -26,7 +26,7 @@ TEST(Report, LayerReportContainsAllSections) {
 TEST(Report, SharesSumToRoughlyHundredPercent) {
   const CostModel model;
   const auto arch = arch::eyeriss_arch();
-  const nn::ConvLayer layer = nn::make_conv("c", 96, 96, 3, 1, 14);
+  const nn::Workload layer = nn::make_conv("c", 96, 96, 3, 1, 14);
   const auto rep =
       model.evaluate(arch, layer, mapping::canonical_mapping(arch, layer));
   // The five component energies must reconstruct the total.

@@ -99,15 +99,15 @@ TEST(ServeProtocol, LayerByNetworkAndExplicitRoundTrip) {
   const Json by_net = Json::parse(
       R"({"network":"squeezenet","index":2})", &parse_error);
   ASSERT_TRUE(parse_error.empty());
-  nn::ConvLayer layer;
+  nn::Workload layer;
   ASSERT_TRUE(serve::layer_from_json(by_net, &layer, &err)) << err;
   EXPECT_EQ(layer.name, nn::make_squeezenet().layers()[2].name);
 
-  nn::ConvLayer round;
+  nn::Workload round;
   ASSERT_TRUE(
       serve::layer_from_json(serve::layer_to_json(layer), &round, &err))
       << err;
-  EXPECT_TRUE(nn::ConvLayerShapeEq{}(layer, round));
+  EXPECT_TRUE(nn::LayerShapeEq{}(layer, round));
 
   const Json oob = Json::parse(
       R"({"network":"squeezenet","index":999})", &parse_error);
@@ -124,7 +124,7 @@ TEST(ServeProtocol, MappingRoundTripsThroughJson) {
   // cost report (the JSON form is faithful, not lossy).
   const cost::CostModel model;
   const arch::ArchConfig arch = arch::nvdla_256_arch();
-  const nn::ConvLayer layer = nn::make_conv("t", 32, 64, 3, 1, 28);
+  const nn::Workload layer = nn::make_conv("t", 32, 64, 3, 1, 28);
   search::MappingSearchOptions opts;
   opts.population = 6;
   opts.iterations = 3;
@@ -240,6 +240,36 @@ TEST(EvalServiceTest, MalformedRequestsGetStructuredErrors) {
   const Json ok = parse_response(service.handle_line(search_line(
       "cifarnet", 0)));
   EXPECT_TRUE(ok.get("ok")->as_bool());
+}
+
+TEST(EvalServiceTest, UnknownLayerKindReturnsStructuredBadRequest) {
+  EvalService service(tiny_options());
+  const Json response = parse_response(service.handle_line(
+      R"({"id":9,"method":"search_mapping","arch":{"preset":"nvdla256"},)"
+      R"("layer":{"kind":"pooling","out_h":8}})"));
+  EXPECT_FALSE(response.get("ok")->as_bool());
+  ASSERT_NE(response.get("error"), nullptr);
+  EXPECT_EQ(response.get("error")->get("code")->as_string(),
+            serve::kErrBadRequest);
+  const std::string msg =
+      response.get("error")->get("message")->as_string();
+  EXPECT_NE(msg.find("pooling"), std::string::npos) << msg;
+  for (const char* kind : {"conv", "dwconv", "fc", "matmul", "attention"})
+    EXPECT_NE(msg.find(kind), std::string::npos) << msg;
+}
+
+TEST(EvalServiceTest, GemmKindsRejectNonUnitConvDims) {
+  EvalService service(tiny_options());
+  const Json response = parse_response(service.handle_line(
+      R"({"id":10,"method":"search_mapping","arch":{"preset":"nvdla256"},)"
+      R"("layer":{"kind":"attention","out_h":8,"in_channels":16,)"
+      R"("out_channels":16,"kernel_h":3}})"));
+  EXPECT_FALSE(response.get("ok")->as_bool());
+  EXPECT_EQ(response.get("error")->get("code")->as_string(),
+            serve::kErrBadRequest);
+  EXPECT_NE(response.get("error")->get("message")->as_string().find(
+                "attention"),
+            std::string::npos);
 }
 
 TEST(EvalServiceTest, ErrorResponsesEchoRequestId) {

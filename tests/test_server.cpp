@@ -119,6 +119,32 @@ TEST(Server, ResponsesIdenticalToStdinMode) {
   EXPECT_EQ(ts.server.stats().connections_accepted, 1);
 }
 
+TEST(Server, UnknownLayerKindReturnsStructuredBadRequestOverTcp) {
+  TestServer ts;
+  ASSERT_TRUE(ts.start());
+  LineClient client = ts.connect();
+  ASSERT_TRUE(client.send_line(
+      "{\"id\":1,\"method\":\"search_mapping\",\"arch\":{\"preset\":"
+      "\"nvdla256\"},\"layer\":{\"kind\":\"softmax\",\"out_h\":8}}"));
+  std::string line;
+  ASSERT_TRUE(client.read_line(&line, kReadTimeoutMs));
+  const Json response = parse_response(line);
+  EXPECT_FALSE(response.get("ok")->as_bool());
+  EXPECT_EQ(error_code_of(response), "bad_request");
+  const std::string msg =
+      response.get("error")->get("message")->as_string();
+  // The error names the offending kind and every supported one.
+  EXPECT_NE(msg.find("softmax"), std::string::npos) << msg;
+  for (const char* kind : {"conv", "dwconv", "fc", "matmul", "attention"})
+    EXPECT_NE(msg.find(kind), std::string::npos) << msg;
+  // The connection survives and keeps serving.
+  ASSERT_TRUE(client.send_line(search_line(2)));
+  ASSERT_TRUE(client.read_line(&line, kReadTimeoutMs));
+  EXPECT_TRUE(parse_response(line).get("ok")->as_bool());
+  client.close();
+  ts.stop();
+}
+
 TEST(Server, PipelinedResponsesKeepRequestOrder) {
   // Request 2 dies instantly ("deadline_ms":0 expires on arrival) while
   // request 1 takes real evaluation time; the reorder buffer must still

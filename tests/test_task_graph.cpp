@@ -330,7 +330,7 @@ TEST(Speculation, PipelinePromotionAndClaimAccounting) {
   mopts.population = 6;
   mopts.iterations = 2;
   const auto arch = arch::nvdla_256_arch();
-  const nn::ConvLayer layer = nn::make_conv("c", 32, 64, 3, 1, 28);
+  const nn::Workload layer = nn::make_conv("c", 32, 64, 3, 1, 28);
 
   search::ArchEvaluator spec_ev(model, mopts);
   {

@@ -131,7 +131,7 @@ search::NaasOptions small_naas_options(int num_threads) {
 TEST(ParallelDeterminism, SearchMappingMatchesSerial) {
   const cost::CostModel model;
   const auto arch = arch::nvdla_256_arch();
-  const nn::ConvLayer layer = nn::make_conv("c", 64, 128, 3, 1, 28);
+  const nn::Workload layer = nn::make_conv("c", 64, 128, 3, 1, 28);
   search::MappingSearchOptions opts;
   opts.population = 8;
   opts.iterations = 5;

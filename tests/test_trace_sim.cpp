@@ -84,10 +84,19 @@ TEST_P(TraceVsAnalytical, ReloadFactorMatchesExactTrace) {
     TripCounts t{};
     for (auto& v : t) v = rng.uniform_int(1, 4);
 
-    const LayerKind kind = GetParam() % 2 == 0 ? LayerKind::kConv
-                                               : LayerKind::kDepthwiseConv;
+    static constexpr LayerKind kKinds[] = {
+        LayerKind::kConv, LayerKind::kDepthwiseConv,
+        LayerKind::kFullyConnected, LayerKind::kMatmul,
+        LayerKind::kAttention};
+    const LayerKind kind = kKinds[GetParam() % 5];
     if (kind == LayerKind::kDepthwiseConv)
       t[static_cast<int>(Dim::kC)] = 1;  // depthwise has no C extent
+    if (kind == LayerKind::kMatmul || kind == LayerKind::kAttention) {
+      // GEMM kinds pin the conv-only dims to a single trip.
+      t[static_cast<int>(Dim::kXp)] = 1;
+      t[static_cast<int>(Dim::kR)] = 1;
+      t[static_cast<int>(Dim::kS)] = 1;
+    }
 
     for (Tensor tensor :
          {Tensor::kInput, Tensor::kWeight, Tensor::kOutput}) {
