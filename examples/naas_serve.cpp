@@ -45,6 +45,9 @@
 //   --idle-timeout-ms <n> TCP: reap idle connections (0 = never)
 //   --max-line-bytes <n>  both modes: request-line length cap (default 1MiB)
 //   --max-batch <n>       both modes: requests per batch cap (default 4096)
+//   --cost-backend <scalar|avx2|neon|auto>
+//                         cost-kernel backend (default auto: CPUID picks
+//                         the fastest; responses are identical regardless)
 //   --faults <spec>       arm the deterministic fault injector (same
 //                         grammar as NAAS_FAULTS; see core/fault.hpp)
 
@@ -73,6 +76,7 @@ int usage() {
       "                  [--max-connections <n>] [--max-queue <n>]\n"
       "                  [--deadline-ms <n>] [--idle-timeout-ms <n>]\n"
       "                  [--max-line-bytes <n>] [--max-batch <n>]\n"
+      "                  [--cost-backend <scalar|avx2|neon|auto>]\n"
       "                  [--faults <spec>]\n"
       "protocol: one JSON request per line on stdin; a blank line submits\n"
       "the accumulated requests as one batch; EOF submits the rest.\n"
@@ -182,6 +186,21 @@ int main(int argc, char** argv) {
     } else if (a == "--max-batch" && has_value) {
       server_options.max_batch_requests =
           static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (a == "--cost-backend" && has_value) {
+      const std::string name = argv[++i];
+      const auto kind = cost::parse_backend_kind(name);
+      if (!kind) {
+        std::fprintf(stderr,
+                     "unknown cost backend '%s' (scalar|avx2|neon|auto)\n",
+                     name.c_str());
+        return usage();
+      }
+      if (!cost::backend_available(*kind)) {
+        std::fprintf(stderr, "cost backend '%s' unavailable on this host\n",
+                     name.c_str());
+        return 1;
+      }
+      options.cost_backend = *kind;
     } else if (a == "--faults" && has_value) {
       faults_spec = argv[++i];
     } else {
@@ -202,6 +221,8 @@ int main(int argc, char** argv) {
   install_signal_handlers();
 
   serve::EvalService service(options);
+  std::fprintf(stderr, "serve: cost backend: %s\n",
+               service.cost_backend_name());
   if (!options.store_path.empty())
     std::fprintf(stderr, "serve: booted with %lld store entries from %s%s\n",
                  static_cast<long long>(
@@ -290,9 +311,10 @@ int main(int argc, char** argv) {
                static_cast<long long>(service.evaluator().cache_size()));
   std::fprintf(stderr,
                "serve: batched cost model scored %lld CMA generations "
-               "(%lld candidates)\n",
+               "(%lld candidates) on %s backend\n",
                service.evaluator().generations_batched(),
-               service.evaluator().candidates_batch_evaluated());
+               service.evaluator().candidates_batch_evaluated(),
+               service.cost_backend_name());
   std::fprintf(stderr,
                "serve: pipeline ran %lld graph tasks; speculation: %lld "
                "hits, %lld wasted\n",

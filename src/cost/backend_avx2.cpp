@@ -1,0 +1,347 @@
+// AVX2 cost-kernel backend: 4-wide (4 candidates per vector) versions of
+// the stage-2 reuse scans and the stage-3 flat arithmetic.
+//
+// Bit-identity contract: every lane performs EXACTLY the scalar kernels'
+// IEEE double operations in the same order. The vectorization axis is the
+// candidate axis — no intra-candidate reassociation is possible — and the
+// conditional multiplies of the reuse scans become unconditional multiplies
+// by a blended {trip, 1.0} operand (x * 1.0 is an exact identity for the
+// finite positive values that flow here). This translation unit is compiled
+// with -mavx2 -ffp-contract=off and WITHOUT -mfma, so the compiler cannot
+// contract any mul+add into a fused op with different rounding.
+//
+// The file always compiles; the implementation exists only when __AVX2__ is
+// set (CMake adds -mavx2 for this file alone when the compiler supports it,
+// or the whole build may be -mavx2) and NAAS_FORCE_SCALAR is not defined.
+// avx2_backend_or_null() additionally gates on a runtime CPUID check, so a
+// binary built with the backend still dispatches to scalar on an old CPU.
+
+#include "cost/backend.hpp"
+
+#if defined(__AVX2__) && !defined(NAAS_FORCE_SCALAR)
+
+#include <immintrin.h>
+
+#include "cost/backend_kernels.hpp"
+
+namespace naas::cost {
+namespace {
+
+using kernels::kD;
+
+constexpr std::size_t kLanes = 4;  // doubles per __m256d
+
+/// 32-bit all-ones lanes where (mask & (1 << d)) != 0 — the tensor
+/// relevance test of the masked scans, per candidate lane.
+inline __m128i relevance32(__m128i bits, int mask) {
+  return _mm_cmpeq_epi32(_mm_and_si128(bits, _mm_set1_epi32(mask)), bits);
+}
+
+/// Widens a 4x32-bit 0/-1 mask to a 4x64-bit double blend/logic mask.
+inline __m256d mask_pd(__m128i m32) {
+  return _mm256_castsi256_pd(_mm256_cvtepi32_epi64(m32));
+}
+
+/// reload_factors_masked for lanes [j, j+4): same scan, same multiply
+/// sequence; the "seen a relevant loop deeper inside" booleans become
+/// per-lane masks updated after each position's multiply, exactly like the
+/// scalar flags.
+inline void reload_factors_avx2(const int* ord, const double* trips,
+                                __m128i base, int in_mask, int w_mask,
+                                int out_mask, double* in_f, double* w_f,
+                                double* out_f, std::size_t j) {
+  const __m256d one = _mm256_set1_pd(1.0);
+  __m256d fi = one, fw = one, fo = one;
+  __m256d si = _mm256_setzero_pd(), sw = si, so = si;
+  for (int i = static_cast<int>(kD) - 1; i >= 0; --i) {
+    const __m128i pos = _mm_add_epi32(base, _mm_set1_epi32(i));
+    const __m128i d = _mm_i32gather_epi32(ord, pos, 4);
+    const __m256d trip =
+        _mm256_i32gather_pd(trips, _mm_add_epi32(base, d), 8);
+    const __m256d gt1 = _mm256_cmp_pd(trip, one, _CMP_GT_OQ);
+    const __m128i bits = _mm_sllv_epi32(_mm_set1_epi32(1), d);
+    const __m256d rin = mask_pd(relevance32(bits, in_mask));
+    const __m256d rw = mask_pd(relevance32(bits, w_mask));
+    const __m256d rout = mask_pd(relevance32(bits, out_mask));
+
+    // Multiply where the scalar scan would (trip > 1 and the loop is
+    // relevant or a relevant loop was already seen deeper inside); blend
+    // in 1.0 elsewhere, which leaves the lane's accumulator bit-exact.
+    const __m256d ci = _mm256_and_pd(gt1, _mm256_or_pd(rin, si));
+    fi = _mm256_mul_pd(fi, _mm256_blendv_pd(one, trip, ci));
+    si = _mm256_or_pd(si, _mm256_and_pd(gt1, rin));
+
+    const __m256d cw = _mm256_and_pd(gt1, _mm256_or_pd(rw, sw));
+    fw = _mm256_mul_pd(fw, _mm256_blendv_pd(one, trip, cw));
+    sw = _mm256_or_pd(sw, _mm256_and_pd(gt1, rw));
+
+    const __m256d co = _mm256_and_pd(gt1, _mm256_or_pd(rout, so));
+    fo = _mm256_mul_pd(fo, _mm256_blendv_pd(one, trip, co));
+    so = _mm256_or_pd(so, _mm256_and_pd(gt1, rout));
+  }
+  _mm256_storeu_pd(in_f + j, fi);
+  _mm256_storeu_pd(w_f + j, fw);
+  _mm256_storeu_pd(out_f + j, fo);
+}
+
+/// distinct_tiles_masked for lanes [j, j+4): product over relevant dims in
+/// canonical dim order (the mask is uniform across lanes, so the dim loop
+/// branches scalar and only the trip loads are gathered).
+inline __m256d distinct_tiles_avx2(const double* trips, __m128i base,
+                                   int mask) {
+  __m256d n = _mm256_set1_pd(1.0);
+  for (std::size_t d = 0; d < kD; ++d)
+    if ((mask >> d) & 1)
+      n = _mm256_mul_pd(
+          n, _mm256_i32gather_pd(
+                 trips,
+                 _mm_add_epi32(base, _mm_set1_epi32(static_cast<int>(d))),
+                 8));
+  return n;
+}
+
+/// register_reuse_masked for lanes [j, j+4): accumulate trips until the
+/// first relevant loop per tensor. The scalar early-exit (all three
+/// barriers hit) is a pure skip — once a lane's barrier mask is set its
+/// accumulator only ever multiplies by 1.0 — so omitting it changes no
+/// result.
+inline void register_reuse_avx2(const int* ord, const int* t1, __m128i base,
+                                int in_mask, int w_mask, int out_mask,
+                                double* in_r, double* w_r, double* out_r,
+                                std::size_t j) {
+  const __m256d one = _mm256_set1_pd(1.0);
+  __m256d ri = one, rw = one, ro = one;
+  __m256d di = _mm256_setzero_pd(), dw = di, dout = di;
+  for (int i = static_cast<int>(kD) - 1; i >= 0; --i) {
+    const __m128i pos = _mm_add_epi32(base, _mm_set1_epi32(i));
+    const __m128i d = _mm_i32gather_epi32(ord, pos, 4);
+    const __m256d trip = _mm256_cvtepi32_pd(
+        _mm_i32gather_epi32(t1, _mm_add_epi32(base, d), 4));
+    const __m256d gt1 = _mm256_cmp_pd(trip, one, _CMP_GT_OQ);
+    const __m128i bits = _mm_sllv_epi32(_mm_set1_epi32(1), d);
+    const __m256d rin = mask_pd(relevance32(bits, in_mask));
+    const __m256d rwm = mask_pd(relevance32(bits, w_mask));
+    const __m256d rout = mask_pd(relevance32(bits, out_mask));
+
+    // Multiply where trip > 1, the barrier has not been hit, and this loop
+    // is not itself relevant; the barrier flips when a relevant loop with
+    // trip > 1 appears (both reads use the pre-update barrier, like the
+    // scalar code).
+    const __m256d ci = _mm256_andnot_pd(di, _mm256_andnot_pd(rin, gt1));
+    ri = _mm256_mul_pd(ri, _mm256_blendv_pd(one, trip, ci));
+    di = _mm256_or_pd(di, _mm256_and_pd(gt1, rin));
+
+    const __m256d cw = _mm256_andnot_pd(dw, _mm256_andnot_pd(rwm, gt1));
+    rw = _mm256_mul_pd(rw, _mm256_blendv_pd(one, trip, cw));
+    dw = _mm256_or_pd(dw, _mm256_and_pd(gt1, rwm));
+
+    const __m256d co = _mm256_andnot_pd(dout, _mm256_andnot_pd(rout, gt1));
+    ro = _mm256_mul_pd(ro, _mm256_blendv_pd(one, trip, co));
+    dout = _mm256_or_pd(dout, _mm256_and_pd(gt1, rout));
+  }
+  _mm256_storeu_pd(in_r + j, ri);
+  _mm256_storeu_pd(w_r + j, rw);
+  _mm256_storeu_pd(out_r + j, ro);
+}
+
+class Avx2Backend final : public Backend {
+ public:
+  const char* name() const override { return "avx2"; }
+
+  void reuse_pass(const LayerContext& ctx,
+                  const BatchColumns& c) const override {
+    const std::size_t m = c.count;
+    const std::size_t m4 = m - m % kLanes;
+    const int in_mask = ctx.input_mask;
+    const int w_mask = ctx.weight_mask;
+    const int out_mask = ctx.output_mask;
+    for (std::size_t j = 0; j < m4; j += kLanes) {
+      // Per-lane base offsets into the candidate-major per-dim columns.
+      const int b = static_cast<int>(j * kD);
+      const int kdi = static_cast<int>(kD);
+      const __m128i base =
+          _mm_setr_epi32(b, b + kdi, b + 2 * kdi, b + 3 * kdi);
+      reload_factors_avx2(c.ord2, c.n2, base, in_mask, w_mask, out_mask,
+                          c.in_f2, c.w_f2, c.out_f2, j);
+      _mm256_storeu_pd(c.out_d2 + j, distinct_tiles_avx2(c.n2, base,
+                                                         out_mask));
+      reload_factors_avx2(c.ord1, c.n1, base, in_mask, w_mask, out_mask,
+                          c.in_f1, c.w_f1, c.out_f1, j);
+      _mm256_storeu_pd(c.out_d1 + j, distinct_tiles_avx2(c.n1, base,
+                                                         out_mask));
+      register_reuse_avx2(c.ordr, c.t1, base, in_mask, w_mask, out_mask,
+                          c.in_rr, c.w_rr, c.out_rr, j);
+    }
+    // Remainder lanes run the shared scalar kernels (identical by
+    // construction — there is one source of truth for the per-slot math).
+    for (std::size_t j = m4; j < m; ++j) kernels::reuse_slot(ctx, c, j);
+  }
+
+  void arithmetic_pass(const LayerContext& ctx,
+                       const BatchColumns& c) const override {
+    const std::size_t m = c.count;
+    const std::size_t m4 = m - m % kLanes;
+    const __m256d one = _mm256_set1_pd(1.0);
+    const __m256d two = _mm256_set1_pd(2.0);
+    const __m256d thousand = _mm256_set1_pd(1000.0);
+    const __m256d macs = _mm256_set1_pd(ctx.macs);
+    const __m256d noc_bw = _mm256_set1_pd(ctx.noc_bw);
+    const __m256d dram_bw = _mm256_set1_pd(ctx.dram_bw);
+    const __m256d array_depth = _mm256_set1_pd(ctx.array_depth);
+    const __m256d pes = _mm256_set1_pd(ctx.pes);
+    const __m256d l1_pj = _mm256_set1_pd(ctx.l1_access_pj);
+    const __m256d l2_pj = _mm256_set1_pd(ctx.l2_access_pj);
+    const __m256d noc_pj = _mm256_set1_pd(ctx.noc_hop_pj);
+    const __m256d dram_pj = _mm256_set1_pd(ctx.dram_pj_per_byte);
+    const __m256d mac_pj = _mm256_set1_pd(ctx.mac_energy_pj);
+
+    for (std::size_t j = 0; j < m4; j += kLanes) {
+      const auto ld = [j](const double* p) { return _mm256_loadu_pd(p + j); };
+      const auto st = [j](double* p, __m256d v) {
+        _mm256_storeu_pd(p + j, v);
+      };
+      const __m256d phases = ld(c.phases);
+
+      // Level 1: DRAM <-> L2. Additions associate left, as written in
+      // arith_slot — the lane sequence is the contract.
+      const __m256d in_dram = _mm256_mul_pd(ld(c.in_f2), ld(c.fp2_in));
+      const __m256d w_dram = _mm256_mul_pd(ld(c.w_f2), ld(c.fp2_w));
+      const __m256d out_writes_dram =
+          _mm256_mul_pd(ld(c.out_f2), ld(c.fp2_out));
+      const __m256d out_reads_dram = _mm256_mul_pd(
+          _mm256_sub_pd(ld(c.out_f2), ld(c.out_d2)), ld(c.fp2_out));
+      const __m256d dram_bytes = _mm256_add_pd(
+          _mm256_add_pd(_mm256_add_pd(in_dram, w_dram), out_writes_dram),
+          out_reads_dram);
+      st(c.dram_bytes, dram_bytes);
+      const __m256d l2_fill_writes =
+          _mm256_add_pd(_mm256_add_pd(in_dram, w_dram), out_reads_dram);
+      const __m256d l2_drain_reads = out_writes_dram;
+
+      // Level 2: L2 <-> PE array.
+      const __m256d per_pe_in = _mm256_mul_pd(ld(c.in_f1), ld(c.fp1_in));
+      const __m256d per_pe_w = _mm256_mul_pd(ld(c.w_f1), ld(c.fp1_w));
+      const __m256d per_pe_out_w =
+          _mm256_mul_pd(ld(c.out_f1), ld(c.fp1_out));
+      const __m256d per_pe_out_r = _mm256_mul_pd(
+          _mm256_sub_pd(ld(c.out_f1), ld(c.out_d1)), ld(c.fp1_out));
+
+      const __m256d l2_in_reads = _mm256_mul_pd(
+          _mm256_mul_pd(phases, per_pe_in), ld(c.in_mult));
+      const __m256d l2_w_reads = _mm256_mul_pd(
+          _mm256_mul_pd(phases, per_pe_w), ld(c.w_mult));
+      const __m256d l2_out_writes = _mm256_mul_pd(
+          _mm256_mul_pd(phases, per_pe_out_w), ld(c.out_mult));
+      const __m256d l2_out_reads = _mm256_mul_pd(
+          _mm256_mul_pd(phases, per_pe_out_r), ld(c.out_mult));
+
+      const __m256d l2_read = _mm256_add_pd(
+          _mm256_add_pd(_mm256_add_pd(l2_in_reads, l2_w_reads),
+                        l2_out_reads),
+          l2_drain_reads);
+      const __m256d l2_write = _mm256_add_pd(l2_out_writes, l2_fill_writes);
+      st(c.l2_read, l2_read);
+      st(c.l2_write, l2_write);
+
+      const __m256d fanout = ld(c.fanout);
+      const __m256d noc_delivery = _mm256_mul_pd(
+          _mm256_mul_pd(
+              phases,
+              _mm256_add_pd(
+                  _mm256_add_pd(_mm256_add_pd(per_pe_in, per_pe_w),
+                                per_pe_out_r),
+                  per_pe_out_w)),
+          fanout);
+      st(c.noc_delivery, noc_delivery);
+      const __m256d red_hops = _mm256_mul_pd(
+          l2_out_writes, _mm256_sub_pd(ld(c.red_extent), one));
+      st(c.red_hops, red_hops);
+
+      // Level 3: registers inside the PE.
+      const __m256d l1_in_reads = _mm256_div_pd(macs, ld(c.in_rr));
+      const __m256d l1_w_reads = _mm256_div_pd(macs, ld(c.w_rr));
+      const __m256d l1_out_rw =
+          _mm256_div_pd(_mm256_mul_pd(two, macs), ld(c.out_rr));
+      const __m256d l1_fill = _mm256_mul_pd(
+          _mm256_mul_pd(
+              phases, _mm256_add_pd(_mm256_add_pd(per_pe_in, per_pe_w),
+                                    per_pe_out_r)),
+          fanout);
+      const __m256d l1_drain =
+          _mm256_mul_pd(_mm256_mul_pd(phases, per_pe_out_w), fanout);
+      const __m256d l1_access = _mm256_add_pd(
+          _mm256_add_pd(
+              _mm256_add_pd(_mm256_add_pd(l1_in_reads, l1_w_reads),
+                            l1_out_rw),
+              l1_fill),
+          l1_drain);
+      st(c.l1_access, l1_access);
+
+      // Latency and utilization.
+      const __m256d compute_cyc =
+          _mm256_mul_pd(phases, ld(c.per_pe_iters));
+      const __m256d noc_cyc =
+          _mm256_div_pd(_mm256_add_pd(l2_read, l2_write), noc_bw);
+      const __m256d dram_cyc = _mm256_div_pd(dram_bytes, dram_bw);
+      const __m256d fill_cycles = _mm256_add_pd(
+          _mm256_div_pd(ld(c.fp2_tot), dram_bw), array_depth);
+      // maxpd of non-negative operands matches std::max bit for bit
+      // regardless of tie order (no -0.0 can flow here).
+      const __m256d latency = _mm256_add_pd(
+          _mm256_max_pd(_mm256_max_pd(compute_cyc, noc_cyc), dram_cyc),
+          fill_cycles);
+      const __m256d util =
+          _mm256_div_pd(macs, _mm256_mul_pd(pes, compute_cyc));
+      st(c.compute_cyc, compute_cyc);
+      st(c.noc_cyc, noc_cyc);
+      st(c.dram_cyc, dram_cyc);
+      st(c.latency, latency);
+      st(c.util, util);
+
+      // Energy.
+      const __m256d e_l1 = _mm256_mul_pd(l1_access, l1_pj);
+      const __m256d e_l2 =
+          _mm256_mul_pd(_mm256_add_pd(l2_read, l2_write), l2_pj);
+      const __m256d e_noc =
+          _mm256_mul_pd(_mm256_add_pd(noc_delivery, red_hops), noc_pj);
+      const __m256d e_dram = _mm256_mul_pd(dram_bytes, dram_pj);
+      const __m256d e_total_nj = _mm256_div_pd(
+          _mm256_add_pd(
+              _mm256_add_pd(
+                  _mm256_add_pd(_mm256_add_pd(mac_pj, e_l1), e_l2), e_noc),
+              e_dram),
+          thousand);
+      const __m256d edp = _mm256_mul_pd(e_total_nj, latency);
+      st(c.e_l1, e_l1);
+      st(c.e_l2, e_l2);
+      st(c.e_noc, e_noc);
+      st(c.e_dram, e_dram);
+      st(c.e_total_nj, e_total_nj);
+      st(c.edp, edp);
+    }
+    for (std::size_t j = m4; j < m; ++j) kernels::arith_slot(ctx, c, j);
+  }
+};
+
+const Avx2Backend g_avx2;
+
+}  // namespace
+
+const Backend* avx2_backend_or_null() {
+  // The implementation is compiled in; still require the running CPU to
+  // support AVX2 so a portable binary dispatches safely.
+  static const bool supported = __builtin_cpu_supports("avx2");
+  return supported ? &g_avx2 : nullptr;
+}
+
+}  // namespace naas::cost
+
+#else  // !__AVX2__ || NAAS_FORCE_SCALAR
+
+namespace naas::cost {
+
+const Backend* avx2_backend_or_null() { return nullptr; }
+
+}  // namespace naas::cost
+
+#endif

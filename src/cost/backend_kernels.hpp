@@ -1,0 +1,186 @@
+#pragma once
+
+// Internal header: the scalar per-slot kernels of the two backend passes.
+// This is the single source of truth for the cost model's per-candidate
+// arithmetic — the scalar backend loops over these, and every SIMD backend
+// uses them for its remainder lanes (and must reproduce them bit-for-bit
+// in its vector body). Not part of the public cost API.
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+
+#include "cost/backend.hpp"
+#include "cost/layer_context.hpp"
+#include "nn/layer.hpp"
+
+namespace naas::cost::kernels {
+
+inline constexpr std::size_t kD = static_cast<std::size_t>(nn::kNumDims);
+
+/// reload_factor (reuse.cpp) for all three tensors of one temporal level
+/// in a single scan, with relevance pre-reduced to bit masks. Each tensor
+/// keeps its own accumulator and multiplies exactly the trips the scalar
+/// routine would, in the same innermost-to-outermost sequence — fusing the
+/// scans changes nothing about any tensor's rounding order. `ord` is the
+/// staged loop order (dim index per position, outermost first).
+inline void reload_factors_masked(const int* ord, const double* trips,
+                                  std::uint8_t in_mask, std::uint8_t w_mask,
+                                  std::uint8_t out_mask, double* in_f,
+                                  double* w_f, double* out_f) {
+  double fi = 1.0, fw = 1.0, fo = 1.0;
+  bool si = false, sw = false, so = false;  // seen-relevant per tensor
+  for (int i = static_cast<int>(kD) - 1; i >= 0; --i) {
+    const auto d = static_cast<std::size_t>(ord[i]);
+    const double trip = trips[d];
+    if (trip <= 1.0) continue;  // a single-trip loop is no loop at all
+    const auto bit = static_cast<std::uint8_t>(1u << d);
+    // Relevant loops refetch; irrelevant loops refetch only when a
+    // relevant loop sits deeper inside (otherwise: temporal reuse).
+    if (in_mask & bit) {
+      fi *= trip;
+      si = true;
+    } else if (si) {
+      fi *= trip;
+    }
+    if (w_mask & bit) {
+      fw *= trip;
+      sw = true;
+    } else if (sw) {
+      fw *= trip;
+    }
+    if (out_mask & bit) {
+      fo *= trip;
+      so = true;
+    } else if (so) {
+      fo *= trip;
+    }
+  }
+  *in_f = fi;
+  *w_f = fw;
+  *out_f = fo;
+}
+
+/// distinct_tiles (reuse.cpp) over staged trips: product of relevant trips
+/// in canonical dim order.
+inline double distinct_tiles_masked(const double* trips, std::uint8_t mask) {
+  double n = 1.0;
+  for (std::size_t d = 0; d < kD; ++d)
+    if ((mask >> d) & 1u) n *= trips[d];
+  return n;
+}
+
+/// register_reuse (reuse.cpp) for all three tensors in one scan over the
+/// L1 tile sizes: a tensor accumulates trips until its first relevant
+/// loop, then stops — per-tensor multiplication order is untouched.
+inline void register_reuse_masked(const int* ord, const int* t1,
+                                  std::uint8_t in_mask, std::uint8_t w_mask,
+                                  std::uint8_t out_mask, double* in_r,
+                                  double* w_r, double* out_r) {
+  double ri = 1.0, rw = 1.0, ro = 1.0;
+  bool di = false, dw = false, dout = false;  // hit the relevant barrier
+  for (int i = static_cast<int>(kD) - 1; i >= 0; --i) {
+    const auto d = static_cast<std::size_t>(ord[i]);
+    const double trip = static_cast<double>(t1[d]);
+    if (trip <= 1.0) continue;  // degenerate loop: neither reuse nor barrier
+    const auto bit = static_cast<std::uint8_t>(1u << d);
+    if (!di) {
+      if (in_mask & bit) di = true; else ri *= trip;
+    }
+    if (!dw) {
+      if (w_mask & bit) dw = true; else rw *= trip;
+    }
+    if (!dout) {
+      if (out_mask & bit) dout = true; else ro *= trip;
+    }
+    if (di && dw && dout) break;
+  }
+  *in_r = ri;
+  *w_r = rw;
+  *out_r = ro;
+}
+
+/// Stage-2 reuse scans for one slot.
+inline void reuse_slot(const LayerContext& ctx, const BatchColumns& c,
+                       std::size_t j) {
+  const double* n2_row = &c.n2[j * kD];
+  const double* n1_row = &c.n1[j * kD];
+  reload_factors_masked(&c.ord2[j * kD], n2_row, ctx.input_mask,
+                        ctx.weight_mask, ctx.output_mask, &c.in_f2[j],
+                        &c.w_f2[j], &c.out_f2[j]);
+  c.out_d2[j] = distinct_tiles_masked(n2_row, ctx.output_mask);
+  reload_factors_masked(&c.ord1[j * kD], n1_row, ctx.input_mask,
+                        ctx.weight_mask, ctx.output_mask, &c.in_f1[j],
+                        &c.w_f1[j], &c.out_f1[j]);
+  c.out_d1[j] = distinct_tiles_masked(n1_row, ctx.output_mask);
+  register_reuse_masked(&c.ordr[j * kD], &c.t1[j * kD], ctx.input_mask,
+                        ctx.weight_mask, ctx.output_mask, &c.in_rr[j],
+                        &c.w_rr[j], &c.out_rr[j]);
+}
+
+/// Stage-3 traffic/latency/energy arithmetic for one slot. Each line is
+/// the scalar evaluator's formula verbatim (left-associated exactly as
+/// written), so per-candidate rounding order is the backend contract.
+inline void arith_slot(const LayerContext& ctx, const BatchColumns& c,
+                       std::size_t j) {
+  // Level 1: DRAM <-> L2.
+  const double in_dram = c.in_f2[j] * c.fp2_in[j];
+  const double w_dram = c.w_f2[j] * c.fp2_w[j];
+  const double out_writes_dram = c.out_f2[j] * c.fp2_out[j];
+  const double out_reads_dram = (c.out_f2[j] - c.out_d2[j]) * c.fp2_out[j];
+  c.dram_bytes[j] = in_dram + w_dram + out_writes_dram + out_reads_dram;
+  const double l2_fill_writes = in_dram + w_dram + out_reads_dram;
+  const double l2_drain_reads = out_writes_dram;
+
+  // Level 2: L2 <-> PE array (per phase, per PE, then scaled).
+  const double per_pe_in = c.in_f1[j] * c.fp1_in[j];
+  const double per_pe_w = c.w_f1[j] * c.fp1_w[j];
+  const double per_pe_out_w = c.out_f1[j] * c.fp1_out[j];
+  const double per_pe_out_r = (c.out_f1[j] - c.out_d1[j]) * c.fp1_out[j];
+
+  const double l2_in_reads = c.phases[j] * per_pe_in * c.in_mult[j];
+  const double l2_w_reads = c.phases[j] * per_pe_w * c.w_mult[j];
+  const double l2_out_writes = c.phases[j] * per_pe_out_w * c.out_mult[j];
+  const double l2_out_reads = c.phases[j] * per_pe_out_r * c.out_mult[j];
+
+  c.l2_read[j] = l2_in_reads + l2_w_reads + l2_out_reads + l2_drain_reads;
+  c.l2_write[j] = l2_out_writes + l2_fill_writes;
+
+  // NoC delivery energy: every active PE receives its operand stream;
+  // psum reduction adds (red_extent - 1) hops per reduced output byte.
+  c.noc_delivery[j] = c.phases[j] *
+                      (per_pe_in + per_pe_w + per_pe_out_r + per_pe_out_w) *
+                      c.fanout[j];
+  c.red_hops[j] = l2_out_writes * (c.red_extent[j] - 1.0);
+
+  // Level 3: registers inside the PE.
+  const double l1_in_reads = ctx.macs / c.in_rr[j];
+  const double l1_w_reads = ctx.macs / c.w_rr[j];
+  const double l1_out_rw = 2.0 * ctx.macs / c.out_rr[j];
+  const double l1_fill =
+      c.phases[j] * (per_pe_in + per_pe_w + per_pe_out_r) * c.fanout[j];
+  const double l1_drain = c.phases[j] * per_pe_out_w * c.fanout[j];
+  c.l1_access[j] = l1_in_reads + l1_w_reads + l1_out_rw + l1_fill + l1_drain;
+
+  // Latency: padded per-PE iteration space at 1 MAC/cycle vs the two
+  // port occupancies, plus pipeline fill.
+  c.compute_cyc[j] = c.phases[j] * c.per_pe_iters[j];
+  c.noc_cyc[j] = (c.l2_read[j] + c.l2_write[j]) / ctx.noc_bw;
+  c.dram_cyc[j] = c.dram_bytes[j] / ctx.dram_bw;
+  const double fill_cycles = c.fp2_tot[j] / ctx.dram_bw + ctx.array_depth;
+  c.latency[j] =
+      std::max({c.compute_cyc[j], c.noc_cyc[j], c.dram_cyc[j]}) + fill_cycles;
+  c.util[j] = ctx.macs / (ctx.pes * c.compute_cyc[j]);
+
+  // Energy (per-byte coefficients precomputed in the context).
+  c.e_l1[j] = c.l1_access[j] * ctx.l1_access_pj;
+  c.e_l2[j] = (c.l2_read[j] + c.l2_write[j]) * ctx.l2_access_pj;
+  c.e_noc[j] = (c.noc_delivery[j] + c.red_hops[j]) * ctx.noc_hop_pj;
+  c.e_dram[j] = c.dram_bytes[j] * ctx.dram_pj_per_byte;
+  c.e_total_nj[j] =
+      (ctx.mac_energy_pj + c.e_l1[j] + c.e_l2[j] + c.e_noc[j] + c.e_dram[j]) /
+      1000.0;
+  c.edp[j] = c.e_total_nj[j] * c.latency[j];
+}
+
+}  // namespace naas::cost::kernels

@@ -1,0 +1,54 @@
+// NEON cost-kernel backend stub: the dispatch seam for ARM hosts.
+//
+// The registration, runtime selection, --cost-backend plumbing, and the
+// cross-backend differential harness are all backend-agnostic, so an ARM
+// port only needs to fill in vectorized reuse/arithmetic passes here under
+// the same bit-identity contract as backend_avx2.cpp (2-wide float64x2_t
+// lanes, conditional multiplies as bit-selected {trip, 1.0} operands, no
+// FMA contraction). Until then the stub delegates to the shared scalar
+// kernels: selecting "neon" on an ARM build is correct, just not yet
+// faster.
+
+#include "cost/backend.hpp"
+
+#if defined(__ARM_NEON) && !defined(NAAS_FORCE_SCALAR)
+
+#include "cost/backend_kernels.hpp"
+
+namespace naas::cost {
+namespace {
+
+class NeonBackend final : public Backend {
+ public:
+  const char* name() const override { return "neon"; }
+
+  void reuse_pass(const LayerContext& ctx,
+                  const BatchColumns& cols) const override {
+    for (std::size_t j = 0; j < cols.count; ++j)
+      kernels::reuse_slot(ctx, cols, j);
+  }
+
+  void arithmetic_pass(const LayerContext& ctx,
+                       const BatchColumns& cols) const override {
+    for (std::size_t j = 0; j < cols.count; ++j)
+      kernels::arith_slot(ctx, cols, j);
+  }
+};
+
+const NeonBackend g_neon;
+
+}  // namespace
+
+const Backend* neon_backend_or_null() { return &g_neon; }
+
+}  // namespace naas::cost
+
+#else  // !__ARM_NEON || NAAS_FORCE_SCALAR
+
+namespace naas::cost {
+
+const Backend* neon_backend_or_null() { return nullptr; }
+
+}  // namespace naas::cost
+
+#endif

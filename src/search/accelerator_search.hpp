@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <string>
 #include <unordered_set>
@@ -10,6 +11,7 @@
 #include "arch/resources.hpp"
 #include "core/task_graph.hpp"
 #include "core/thread_pool.hpp"
+#include "cost/backend.hpp"
 #include "cost/network_cost.hpp"
 #include "nn/network.hpp"
 #include "search/eval_cache.hpp"
@@ -248,6 +250,12 @@ struct NaasOptions {
   /// with speculation on or off, at any thread count. Costs wasted
   /// idle-time work when predictions miss (metered as speculative_wasted).
   bool speculate = true;
+  /// Cost-kernel backend override (--cost-backend). nullopt leaves the
+  /// caller's CostModel untouched; a value re-targets evaluation onto a
+  /// copy of the model with that backend selected (kAuto picks the best
+  /// available). Pure throughput knob: every backend is byte-identical to
+  /// scalar, so results never depend on it.
+  std::optional<cost::BackendKind> cost_backend;
 };
 
 /// Outcome of a NAAS accelerator+mapping co-search.
@@ -270,6 +278,10 @@ struct NaasResult {
   /// Entries warm-started from NaasOptions::cache_path (0 when disabled,
   /// missing, or rejected).
   long long store_entries_loaded = 0;
+  /// Resolved cost-kernel backend that scored this search ("scalar",
+  /// "avx2", ...) — what NaasOptions::cost_backend (or the model default)
+  /// actually dispatched to.
+  std::string cost_backend;
   double wall_seconds = 0;
 };
 

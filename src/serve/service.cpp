@@ -46,6 +46,8 @@ bool is_damaged(search::StoreStatus status) {
 
 EvalService::EvalService(const ServeOptions& options)
     : options_(options),
+      model_(cost::EnergyModel{},
+             options.cost_backend.value_or(cost::default_backend_kind())),
       pool_(options.num_threads),
       evaluator_(model_, options.mapping, &pool_) {
   if (!options_.store_path.empty()) {
@@ -315,6 +317,7 @@ Json EvalService::cache_stats_json() const {
   obj.set("requests_timed_out", Json::integer(requests_timed_out()));
   obj.set("protocol_rejects", Json::integer(protocol_rejects()));
   obj.set("pool_threads", Json::integer(pool_.size()));
+  obj.set("cost_backend", Json::string(model_.backend_name()));
   return obj;
 }
 

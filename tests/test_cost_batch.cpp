@@ -18,6 +18,7 @@
 #include "core/serialize.hpp"
 #include "mapping/canonical.hpp"
 #include "mapping/legality.hpp"
+#include "test_seed.hpp"
 
 namespace naas::cost {
 namespace {
@@ -135,7 +136,7 @@ void expect_batch_matches_scalar(const CostModel& model,
 
 TEST(CostBatch, MatchesScalarForAnyBatchSizeOnRandomWorkloads) {
   const CostModel model;
-  core::Rng rng(20260726);
+  core::Rng rng(test::sweep_seed(20260726));
   for (int round = 0; round < 40; ++round) {
     const nn::Workload layer = random_layer(rng);
     const arch::ArchConfig arch = random_arch(rng);
@@ -154,7 +155,7 @@ TEST(CostBatch, LegalityReasonsMatchMappingCheck) {
   // The batched legality pass reimplements mapping::check against the
   // context; the two must never drift — same verdicts, same reasons.
   const CostModel model;
-  core::Rng rng(4242);
+  core::Rng rng(test::sweep_seed(4242));
   int illegal_seen = 0;
   for (int round = 0; round < 200; ++round) {
     const nn::Workload layer = random_layer(rng);

@@ -1,0 +1,30 @@
+#pragma once
+
+// NAAS_TEST_SEED: the CTest seed-sweep hook. Randomized suites derive
+// their RNG seeds through sweep_seed(base) so one binary covers many
+// independent sample sets: unset (a plain `ctest` run) reproduces the
+// historical fixed seeds exactly, while the generated *_seed<k> CTest
+// instances export NAAS_TEST_SEED=<k> to re-run the same properties on
+// fresh random workloads. Failures stay reproducible — rerun with the
+// same NAAS_TEST_SEED value.
+
+#include <cstdint>
+#include <cstdlib>
+
+namespace naas::test {
+
+/// Mixes the NAAS_TEST_SEED sweep index (when set) into `base`. The
+/// splitmix64-style finalizer decorrelates adjacent sweep indices and
+/// keeps every (base, sweep) pair distinct, so two suites sharing a sweep
+/// index still see unrelated streams.
+inline std::uint64_t sweep_seed(std::uint64_t base) {
+  const char* env = std::getenv("NAAS_TEST_SEED");
+  if (env == nullptr || *env == '\0') return base;
+  const std::uint64_t sweep = std::strtoull(env, nullptr, 10);
+  std::uint64_t z = base + (sweep + 1) * 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace naas::test

@@ -24,6 +24,7 @@
 #include "mapping/legality.hpp"
 #include "nn/model_zoo.hpp"
 #include "serve/service.hpp"
+#include "test_seed.hpp"
 
 namespace naas::cost {
 namespace {
@@ -267,7 +268,7 @@ mapping::Mapping random_candidate(core::Rng& rng, const arch::ArchConfig& arch,
 
 TEST(TransformerCostBatch, MatchesScalarByteForByteOnRandomGemms) {
   const CostModel model;
-  core::Rng rng(20260808);
+  core::Rng rng(test::sweep_seed(20260808));
   for (int round = 0; round < 40; ++round) {
     const Workload layer = random_gemm_layer(rng);
     const arch::ArchConfig arch = random_arch(rng);
@@ -300,7 +301,7 @@ TEST(TransformerCostBatch, MatchesScalarByteForByteOnRandomGemms) {
 
 TEST(TransformerCostBatch, LegalityReasonsMatchMappingCheck) {
   const CostModel model;
-  core::Rng rng(808);
+  core::Rng rng(test::sweep_seed(808));
   int illegal_seen = 0;
   for (int round = 0; round < 200; ++round) {
     const Workload layer = random_gemm_layer(rng);
