@@ -48,6 +48,12 @@
 //   --cost-backend <scalar|avx2|neon|auto>
 //                         cost-kernel backend (default auto: CPUID picks
 //                         the fastest; responses are identical regardless)
+//   --peers <list>        fleet peers ("host:port,host:port,..."): pull
+//                         their result-store snapshots at boot (a restarted
+//                         worker re-warms without redoing searches) and
+//                         again every --peer-pull-every refreshes
+//   --peer-pull-every <n> peer pull cadence in store refreshes (default 4;
+//                         0 = boot pull only)
 //   --faults <spec>       arm the deterministic fault injector (same
 //                         grammar as NAAS_FAULTS; see core/fault.hpp)
 
@@ -61,6 +67,7 @@
 #include <vector>
 
 #include "core/fault.hpp"
+#include "fleet/replicator.hpp"
 #include "serve/server.hpp"
 #include "serve/service.hpp"
 
@@ -77,6 +84,7 @@ int usage() {
       "                  [--deadline-ms <n>] [--idle-timeout-ms <n>]\n"
       "                  [--max-line-bytes <n>] [--max-batch <n>]\n"
       "                  [--cost-backend <scalar|avx2|neon|auto>]\n"
+      "                  [--peers <host:port,...>] [--peer-pull-every <n>]\n"
       "                  [--faults <spec>]\n"
       "protocol: one JSON request per line on stdin; a blank line submits\n"
       "the accumulated requests as one batch; EOF submits the rest.\n"
@@ -142,6 +150,8 @@ int main(int argc, char** argv) {
   serve::ServerOptions server_options;
   bool listen_mode = false;
   std::string faults_spec;
+  std::string peers_spec;
+  long long peer_pull_every = 4;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -201,6 +211,10 @@ int main(int argc, char** argv) {
         return 1;
       }
       options.cost_backend = *kind;
+    } else if (a == "--peers" && has_value) {
+      peers_spec = argv[++i];
+    } else if (a == "--peer-pull-every" && has_value) {
+      peer_pull_every = std::atoll(argv[++i]);
     } else if (a == "--faults" && has_value) {
       faults_spec = argv[++i];
     } else {
@@ -218,6 +232,16 @@ int main(int argc, char** argv) {
     }
   }
 
+  fleet::ReplicatorOptions repl_options;
+  const bool have_peers = !peers_spec.empty();
+  if (have_peers) {
+    std::string err;
+    if (!fleet::parse_worker_list(peers_spec, &repl_options.peers, &err)) {
+      std::fprintf(stderr, "bad --peers list: %s\n", err.c_str());
+      return usage();
+    }
+  }
+
   install_signal_handlers();
 
   serve::EvalService service(options);
@@ -230,8 +254,25 @@ int main(int argc, char** argv) {
                  options.store_path.c_str(),
                  options.store_readonly ? " (readonly)" : "");
 
+  // With peers, serving goes through the replication wrapper: a boot-time
+  // pull re-warms a restarted worker from the rest of the fleet, then the
+  // refresh cadence keeps pulling. Without peers the wrapper is bypassed
+  // entirely (and this block prints nothing — stderr stays byte-stable
+  // for the golden-session diffs).
+  fleet::ReplicatedService replicated(service, repl_options,
+                                      have_peers ? peer_pull_every : 0);
+  serve::LineHandler& handler =
+      have_peers ? static_cast<serve::LineHandler&>(replicated) : service;
+  if (have_peers) {
+    const std::size_t adopted = replicated.pull_now();
+    std::fprintf(stderr,
+                 "serve: peer pull adopted %lld entries from %lld peers\n",
+                 static_cast<long long>(adopted),
+                 static_cast<long long>(repl_options.peers.size()));
+  }
+
   const serve::Server* finished_server = nullptr;
-  serve::Server server(service, server_options);
+  serve::Server server(handler, server_options);
   if (listen_mode) {
     std::string err;
     if (!server.start(&err)) {
@@ -254,7 +295,7 @@ int main(int argc, char** argv) {
       std::vector<std::string> lines;
       for (const BatchItem& item : batch)
         if (item.precomputed.empty()) lines.push_back(item.line);
-      std::vector<std::string> responses = service.handle_lines(lines);
+      std::vector<std::string> responses = handler.handle_lines(lines);
       std::size_t next = 0;
       for (const BatchItem& item : batch) {
         const std::string& response =
@@ -267,7 +308,7 @@ int main(int argc, char** argv) {
       admitted_in_batch = 0;
       ++batches_submitted;
       if (refresh_every > 0 && batches_submitted % refresh_every == 0)
-        service.refresh();
+        handler.refresh();
     };
 
     std::string line;
@@ -326,6 +367,14 @@ int main(int argc, char** argv) {
                "rejects; store refresh retries: %lld\n",
                service.requests_shed(), service.requests_timed_out(),
                service.protocol_rejects(), stats.store_refresh_retries);
+  if (have_peers) {
+    const fleet::ReplicatorStats& rs = replicated.replicator().stats();
+    std::fprintf(stderr,
+                 "serve: replication: %lld pulls, %lld peer fetches "
+                 "(%lld failed, %lld torn), %lld entries adopted\n",
+                 rs.pulls, rs.peer_fetches, rs.fetch_failures,
+                 rs.torn_fetches, rs.entries_adopted);
+  }
   if (finished_server) {
     const serve::ServerStats& net = finished_server->stats();
     std::fprintf(stderr,

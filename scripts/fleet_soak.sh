@@ -1,0 +1,238 @@
+#!/usr/bin/env bash
+# Crash soak of the sharded evaluator fleet.
+#
+# Starts three naas_serve workers under deterministic socket fault
+# weather and a naas_router in front of them with router-level faults
+# armed (failed forwards, a stalled forward that must eat the deadline
+# and fail over). A pipelined TCP client then runs the same session three
+# times against the router:
+#
+#   pass 1: all workers up;
+#   pass 2: one worker SIGKILLed mid-session (dead-connection detection,
+#           group failover, backoff reconnect all on the hot path);
+#   pass 3: steady state with the worker still dead.
+#
+# Every pass must be byte-identical to a fresh single naas_serve
+# stdin-mode reference, with zero degraded responses. Then the killed
+# worker is "restarted" with an EMPTY store and --peers pointing at the
+# survivors: its boot-time segment pull must adopt entries, and replaying
+# the full session directly against it must run ZERO mapping searches —
+# the rejoin acceptance of the fleet design.
+#
+# Usage: scripts/fleet_soak.sh [build-dir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+SERVE="$BUILD_DIR/naas_serve"
+ROUTER="$BUILD_DIR/naas_router"
+
+for bin in "$SERVE" "$ROUTER"; do
+  if [ ! -x "$bin" ]; then
+    echo "fleet_soak: $bin not built" >&2
+    exit 1
+  fi
+done
+
+WORK="$(mktemp -d)"
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do
+    [ -n "$pid" ] && kill -KILL "$pid" 2>/dev/null || true
+  done
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+# Waits for "listening on 127.0.0.1:<port>" in $1 (a stderr file) and
+# prints the port; the pid in $2 must stay alive while we wait.
+wait_port() {
+  local errfile="$1" pid="$2" port=""
+  for _ in $(seq 1 200); do
+    port="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+            "$errfile" | head -n1)"
+    [ -n "$port" ] && { echo "$port"; return 0; }
+    kill -0 "$pid" 2>/dev/null || {
+      echo "fleet_soak: process $pid died before binding:" >&2
+      cat "$errfile" >&2
+      return 1
+    }
+    sleep 0.1
+  done
+  echo "fleet_soak: no port announced in $errfile" >&2
+  return 1
+}
+
+# Deterministic fault weather on every worker's sockets: the router must
+# ride through short reads/writes and EINTR without the client noticing.
+WORKER_FAULTS="seed=7,sock_read_short=0.05,sock_write_short=0.05,sock_read_eintr=0.02"
+
+echo "=== fleet_soak: starting 3 workers ==="
+WPORTS=()
+WPIDS=()
+for i in 1 2 3; do
+  "$SERVE" --listen 127.0.0.1:0 --cache-path "$WORK/store$i.bin" \
+      --faults "$WORKER_FAULTS" 2> "$WORK/worker$i.err" &
+  pid=$!
+  PIDS+=("$pid")
+  WPIDS+=("$pid")
+  WPORTS+=("$(wait_port "$WORK/worker$i.err" "$pid")")
+done
+echo "fleet_soak: workers on ports ${WPORTS[*]}"
+
+# Router fault weather: a bounded burst of failed forwards plus one
+# stalled forward that must burn the (shortened) deadline and fail over.
+ROUTER_FAULTS="seed=11,router_forward_fail=0.1@10,router_forward_stall=1@1"
+"$ROUTER" --workers "127.0.0.1:${WPORTS[0]},127.0.0.1:${WPORTS[1]},127.0.0.1:${WPORTS[2]}" \
+    --listen 127.0.0.1:0 \
+    --forward-timeout-ms 2000 \
+    --reconnect-backoff-ms 20 --reconnect-backoff-cap-ms 200 \
+    --ping-interval-ms 200 \
+    --faults "$ROUTER_FAULTS" 2> "$WORK/router.err" &
+ROUTER_PID=$!
+PIDS+=("$ROUTER_PID")
+RPORT="$(wait_port "$WORK/router.err" "$ROUTER_PID")"
+echo "fleet_soak: router on port $RPORT"
+
+# The session: work-unit-keyed searches over two envelopes, a whole-net
+# evaluation, protocol errors, a ping — then the searches again so traffic
+# after the mid-session kill is guaranteed to hit every worker's shard.
+SESSION="$WORK/session.jsonl"
+{
+  printf '%s\n' \
+    '{"id":1,"method":"search_mapping","arch":{"preset":"nvdla256"},"layer":{"network":"squeezenet","index":0}}' \
+    '{"id":2,"method":"search_mapping","arch":{"preset":"nvdla256"},"layer":{"network":"squeezenet","index":1}}' \
+    '{"id":3,"method":"search_mapping","arch":{"preset":"nvdla256"},"layer":{"network":"squeezenet","index":2}}' \
+    '{"id":4,"method":"search_mapping","arch":{"preset":"edgetpu"},"layer":{"network":"squeezenet","index":0}}' \
+    '{"id":5,"method":"search_mapping","arch":{"preset":"edgetpu"},"layer":{"network":"mobilenetv2","index":1}}' \
+    '{"id":6,"method":"evaluate_network","arch":{"preset":"nvdla256"},"network":"squeezenet"}' \
+    '{"id":7,"method":"ping"}' \
+    '{"id":8,"method":"nonsense"}' \
+    'this is not json'
+  for id in 9 10 11 12 13; do
+    layer=$((id - 9))
+    printf '{"id":%d,"method":"search_mapping","arch":{"preset":"nvdla256"},"layer":{"network":"squeezenet","index":%d}}\n' \
+      "$id" "$((layer % 3))"
+  done
+} > "$SESSION"
+
+# Fresh single-service stdin reference: responses are pure per line, so
+# the fleet must reproduce these bytes exactly, kills and all.
+echo "=== fleet_soak: computing single-service reference ==="
+"$SERVE" --cache-path "$WORK/ref_store.bin" < "$SESSION" \
+    > "$WORK/ref.out" 2> "$WORK/ref.err"
+
+# Pipelined TCP client; optionally SIGKILLs a pid halfway through.
+run_session() {
+  local port="$1" out="$2" kill_pid="${3:-0}"
+  python3 - "$port" "$SESSION" "$out" "$kill_pid" <<'EOF'
+import os, signal, socket, sys, time
+port, session, out, kill_pid = sys.argv[1:5]
+lines = open(session, "rb").read().splitlines()
+sock = socket.create_connection(("127.0.0.1", int(port)), timeout=120)
+sock.settimeout(120)
+reader = sock.makefile("rb")
+half = len(lines) // 2
+with open(out, "wb") as f:
+    def roundtrip(chunk):
+        for line in chunk:
+            sock.sendall(line + b"\n")
+        for _ in chunk:
+            response = reader.readline()
+            assert response.endswith(b"\n"), "connection died mid-session"
+            f.write(response)
+    roundtrip(lines[:half])
+    if int(kill_pid):
+        os.kill(int(kill_pid), signal.SIGKILL)
+        time.sleep(0.3)
+    roundtrip(lines[half:])
+EOF
+}
+
+echo "=== fleet_soak: pass 1 (all workers up) ==="
+run_session "$RPORT" "$WORK/pass1.out"
+diff "$WORK/ref.out" "$WORK/pass1.out" || {
+  echo "fleet_soak: pass 1 diverged from single-service reference" >&2
+  exit 1
+}
+
+echo "=== fleet_soak: pass 2 (worker 1 SIGKILLed mid-session) ==="
+run_session "$RPORT" "$WORK/pass2.out" "${WPIDS[0]}"
+diff "$WORK/ref.out" "$WORK/pass2.out" || {
+  echo "fleet_soak: pass 2 diverged after mid-session worker kill" >&2
+  exit 1
+}
+
+echo "=== fleet_soak: pass 3 (steady state, worker 1 still dead) ==="
+run_session "$RPORT" "$WORK/pass3.out"
+diff "$WORK/ref.out" "$WORK/pass3.out" || {
+  echo "fleet_soak: pass 3 diverged with a dead worker" >&2
+  exit 1
+}
+
+echo "=== fleet_soak: rejoin (worker 1 restarts empty, pulls from peers) ==="
+"$SERVE" --listen 127.0.0.1:0 --cache-path "$WORK/store1_rejoin.bin" \
+    --peers "127.0.0.1:${WPORTS[1]},127.0.0.1:${WPORTS[2]}" \
+    2> "$WORK/rejoin.err" &
+REJOIN_PID=$!
+PIDS+=("$REJOIN_PID")
+RJPORT="$(wait_port "$WORK/rejoin.err" "$REJOIN_PID")"
+grep -q 'peer pull adopted [1-9]' "$WORK/rejoin.err" || {
+  echo "fleet_soak: restarted worker adopted no peer entries" >&2
+  cat "$WORK/rejoin.err" >&2
+  exit 1
+}
+
+# The whole session replayed directly against the rejoined worker: warm
+# from peer segments alone, byte-identical, ZERO mapping searches.
+run_session "$RJPORT" "$WORK/rejoin.out"
+diff "$WORK/ref.out" "$WORK/rejoin.out" || {
+  echo "fleet_soak: rejoined worker diverged from reference" >&2
+  exit 1
+}
+kill -TERM "$REJOIN_PID"
+EXIT_CODE=0
+wait "$REJOIN_PID" || EXIT_CODE=$?
+if [ "$EXIT_CODE" -ne 0 ]; then
+  echo "fleet_soak: rejoined worker exited $EXIT_CODE" >&2
+  exit 1
+fi
+grep -q 'mapping searches run: 0;' "$WORK/rejoin.err" || {
+  echo "fleet_soak: rejoined worker re-ran searches its peers held" >&2
+  cat "$WORK/rejoin.err" >&2
+  exit 1
+}
+
+echo "=== fleet_soak: draining router and surviving workers ==="
+kill -TERM "$ROUTER_PID"
+EXIT_CODE=0
+wait "$ROUTER_PID" || EXIT_CODE=$?
+echo "--- router stderr ---"
+cat "$WORK/router.err"
+if [ "$EXIT_CODE" -ne 0 ]; then
+  echo "fleet_soak: router exited $EXIT_CODE under fault weather" >&2
+  exit 1
+fi
+# The weather actually hit: forwards failed over, nothing degraded.
+grep -q 'degraded: 0;' "$WORK/router.err" || {
+  echo "fleet_soak: router answered degraded responses" >&2
+  exit 1
+}
+grep -Eq 'failovers: [1-9]' "$WORK/router.err" || {
+  echo "fleet_soak: no failovers recorded — the soak proved nothing" >&2
+  exit 1
+}
+
+for i in 1 2; do
+  kill -TERM "${WPIDS[$i]}" 2>/dev/null || true
+  EXIT_CODE=0
+  wait "${WPIDS[$i]}" || EXIT_CODE=$?
+  if [ "$EXIT_CODE" -ne 0 ]; then
+    echo "fleet_soak: worker $((i + 1)) exited $EXIT_CODE" >&2
+    cat "$WORK/worker$((i + 1)).err" >&2
+    exit 1
+  fi
+done
+
+echo "fleet_soak: PASS (3 passes byte-identical under kills and faults," \
+     "rejoin warm from peers with zero searches)"

@@ -96,13 +96,28 @@ bool FaultInjector::configure(const std::string& spec, std::string* err) {
     std::string value = item.substr(eq + 1);
 
     Rule rule;
-    // Optional decorations, innermost first: +skip then @maxfires.
+    // Optional decorations, innermost first: +skip then @maxfires. Both
+    // must be real nonnegative integers: a typo like "=1@abc" silently
+    // becoming "@0" (never fires) would make a fault run vacuously green.
+    const auto parse_count = [](const char* text, long long* out) {
+      if (*text == '\0') return false;
+      long long v = 0;
+      for (const char* p = text; *p; ++p) {
+        if (*p < '0' || *p > '9') return false;
+        v = v * 10 + (*p - '0');
+        if (v < 0) return false;  // overflow
+      }
+      *out = v;
+      return true;
+    };
     if (const std::size_t plus = value.find('+'); plus != std::string::npos) {
-      rule.skip = std::atoll(value.c_str() + plus + 1);
+      if (!parse_count(value.c_str() + plus + 1, &rule.skip))
+        return fail("bad '+skip' count in '" + item + "'");
       value.resize(plus);
     }
     if (const std::size_t at = value.find('@'); at != std::string::npos) {
-      rule.max_fires = std::atoll(value.c_str() + at + 1);
+      if (!parse_count(value.c_str() + at + 1, &rule.max_fires))
+        return fail("bad '@maxfires' count in '" + item + "'");
       value.resize(at);
     }
     char* parse_end = nullptr;

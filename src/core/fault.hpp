@@ -30,6 +30,8 @@ namespace naas::core {
 ///   store_append_fail store_append_torn store_save_fail
 ///   store_load_fail   store_load_corrupt
 ///   refresh_fail
+///   router_forward_fail router_forward_stall router_ping_fail
+///   repl_fetch_torn
 ///
 /// Configuration comes from the NAAS_FAULTS environment variable at first
 /// use, or programmatically via configure() (tests). Thread-safe.

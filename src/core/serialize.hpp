@@ -62,6 +62,14 @@ class ByteReader {
 std::uint64_t fnv1a64(const void* data, std::size_t size);
 std::uint64_t fnv1a64(const std::string& bytes);
 
+/// Lowercase hex armor for carrying binary payloads (result-store segments)
+/// over the line-JSON protocol — the transport of fleet peer replication.
+std::string to_hex(const std::string& bytes);
+/// Strict inverse (even length, hex digits only); false leaves `*bytes`
+/// empty. Rejecting instead of best-effort decoding keeps a mangled
+/// replication payload an explicit failure, not a silently-short store.
+bool from_hex(const std::string& hex, std::string* bytes);
+
 /// boost-style 64-bit hash combiner. The single definition behind every
 /// fingerprint/cache-key/dedup-key mix in the codebase (arch fingerprints,
 /// evaluator cache keys, NASAIC memo keys, serve batch dedup): these keys

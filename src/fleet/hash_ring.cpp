@@ -1,0 +1,75 @@
+#include "fleet/hash_ring.hpp"
+
+#include <algorithm>
+
+namespace naas::fleet {
+
+namespace {
+
+/// Ring-point and key hashes draw from distinct tagged streams so a key
+/// can never collide with "its own" point by construction quirk.
+constexpr std::uint64_t kPointTag = 0x9e3779b97f4a7c15ull;
+constexpr std::uint64_t kKeyTag = 0xc2b2ae3d27d4eb4full;
+
+/// splitmix64 finalizer. The ring needs full avalanche — worker/vnode
+/// indices and cache keys are small or structured integers, and the
+/// codebase's boost-style core::hash_mix (fine for *distinguishing* keys)
+/// clusters such inputs into one arc of the ring, which would hand the
+/// whole keyspace to one worker.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+HashRing::HashRing(std::size_t num_workers, std::size_t vnodes)
+    : num_workers_(num_workers) {
+  if (vnodes == 0) vnodes = 1;
+  points_.reserve(num_workers * vnodes);
+  for (std::size_t w = 0; w < num_workers; ++w) {
+    for (std::size_t v = 0; v < vnodes; ++v) {
+      const std::uint64_t h =
+          mix64(kPointTag ^ (static_cast<std::uint64_t>(w) << 32) ^ v);
+      points_.push_back({h, static_cast<std::uint32_t>(w)});
+    }
+  }
+  std::sort(points_.begin(), points_.end(),
+            [](const Point& a, const Point& b) {
+              return a.hash != b.hash ? a.hash < b.hash
+                                      : a.worker < b.worker;
+            });
+}
+
+std::size_t HashRing::home_index(std::uint64_t key) const {
+  const std::uint64_t h = mix64(kKeyTag ^ key);
+  const auto it = std::lower_bound(
+      points_.begin(), points_.end(), h,
+      [](const Point& p, std::uint64_t v) { return p.hash < v; });
+  return it == points_.end() ? 0 : static_cast<std::size_t>(
+                                       it - points_.begin());
+}
+
+std::size_t HashRing::owner(std::uint64_t key) const {
+  return points_[home_index(key)].worker;
+}
+
+std::vector<std::size_t> HashRing::preference(std::uint64_t key) const {
+  std::vector<std::size_t> order;
+  order.reserve(num_workers_);
+  std::vector<bool> seen(num_workers_, false);
+  const std::size_t start = home_index(key);
+  for (std::size_t i = 0; i < points_.size() && order.size() < num_workers_;
+       ++i) {
+    const std::uint32_t w = points_[(start + i) % points_.size()].worker;
+    if (!seen[w]) {
+      seen[w] = true;
+      order.push_back(w);
+    }
+  }
+  return order;
+}
+
+}  // namespace naas::fleet

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace naas::fleet {
+
+/// Consistent-hash ring over `num_workers` evaluator shards. Each worker
+/// owns `vnodes` pseudo-random points on a 64-bit ring; a work-unit key
+/// belongs to the first point clockwise from its hash. Virtual nodes keep
+/// the keyspace split near-uniform (stddev shrinks with sqrt(vnodes)) and
+/// — the property the fleet actually buys this structure for — make
+/// membership changes *local*: when a worker dies, only the keys it owned
+/// move, each to the next surviving point, instead of the modulo-hash
+/// behavior of reshuffling almost every key (and thereby going cold on
+/// almost every warm cache in the fleet).
+///
+/// The ring is immutable after construction and encodes the *configured*
+/// fleet, not liveness: the router consults `preference()` — every
+/// distinct worker in ring order from the key's home — and skips the dead
+/// ones, so failover order is a pure function of (key, fleet shape) and a
+/// restarted worker reclaims exactly its old keys.
+class HashRing {
+ public:
+  /// `vnodes` points per worker (>= 1; callers pass ~64 for <2% imbalance).
+  HashRing(std::size_t num_workers, std::size_t vnodes);
+
+  std::size_t num_workers() const { return num_workers_; }
+
+  /// The worker owning `key`: first ring point at or clockwise from
+  /// hash(key).
+  std::size_t owner(std::uint64_t key) const;
+
+  /// All `num_workers()` distinct workers in ring order starting at
+  /// owner(key) — the failover sequence for `key`.
+  std::vector<std::size_t> preference(std::uint64_t key) const;
+
+ private:
+  struct Point {
+    std::uint64_t hash;
+    std::uint32_t worker;
+  };
+  /// Index into points_ of the first point at or after hash(key).
+  std::size_t home_index(std::uint64_t key) const;
+
+  std::size_t num_workers_;
+  std::vector<Point> points_;  ///< sorted by hash
+};
+
+}  // namespace naas::fleet

@@ -1,0 +1,90 @@
+#include "fleet/replicator.hpp"
+
+#include <utility>
+
+#include "core/fault.hpp"
+#include "core/serialize.hpp"
+#include "net/client.hpp"
+#include "search/result_store.hpp"
+#include "serve/json.hpp"
+
+namespace naas::fleet {
+
+Replicator::Replicator(ReplicatorOptions options)
+    : options_(std::move(options)) {}
+
+std::size_t Replicator::pull_once(serve::EvalService& service) {
+  ++stats_.pulls;
+  std::size_t adopted = 0;
+  for (const WorkerAddr& peer : options_.peers) {
+    adopted += pull_peer(peer, service);
+  }
+  return adopted;
+}
+
+std::size_t Replicator::pull_peer(const WorkerAddr& peer,
+                                  serve::EvalService& service) {
+  ++stats_.peer_fetches;
+  net::LineClient client;
+  std::string err;
+  if (!client.connect(peer.host, peer.port, options_.connect_timeout_ms,
+                      &err)) {
+    ++stats_.fetch_failures;
+    return 0;
+  }
+  client.set_recv_deadline_ms(options_.fetch_timeout_ms);
+  std::string resp_line;
+  if (!client.send_line("{\"id\":null,\"method\":\"pull_store\"}") ||
+      !client.read_line(&resp_line, options_.fetch_timeout_ms)) {
+    ++stats_.fetch_failures;
+    return 0;
+  }
+  std::string perr;
+  const serve::Json resp = serve::Json::parse(resp_line, &perr);
+  const serve::Json* ok = resp.get("ok");
+  const serve::Json* result = resp.get("result");
+  if (!perr.empty() || !ok || !ok->as_bool() || !result) {
+    ++stats_.fetch_failures;
+    return 0;
+  }
+  const serve::Json* format = result->get("format");
+  const serve::Json* data = result->get("data");
+  if (!format || format->as_string() != "naasmaps-hex" || !data ||
+      !data->is_string()) {
+    ++stats_.fetch_failures;
+    return 0;
+  }
+  std::string bytes;
+  if (!core::from_hex(data->as_string(), &bytes)) {
+    ++stats_.fetch_failures;
+    return 0;
+  }
+  // Deterministic torn transfer: drop the tail mid-segment and let the
+  // decode gauntlet prove it salvages or rejects, never adopts garbage.
+  if (core::fault("repl_fetch_torn")) bytes.resize(bytes.size() / 2);
+  search::StoreLoadResult load =
+      search::ResultStore::decode(bytes.data(), bytes.size());
+  if (load.status != search::StoreStatus::kOk) ++stats_.torn_fetches;
+  stats_.bytes_fetched += static_cast<long long>(bytes.size());
+  const std::size_t adopted = service.adopt_entries(std::move(load.entries));
+  stats_.entries_adopted += static_cast<long long>(adopted);
+  return adopted;
+}
+
+ReplicatedService::ReplicatedService(serve::EvalService& service,
+                                     ReplicatorOptions options,
+                                     long long pull_every_refreshes)
+    : service_(service),
+      replicator_(std::move(options)),
+      pull_every_(pull_every_refreshes) {}
+
+search::StoreStatus ReplicatedService::refresh() {
+  const search::StoreStatus status = service_.refresh();
+  if (pull_every_ > 0 && ++refreshes_since_pull_ >= pull_every_) {
+    refreshes_since_pull_ = 0;
+    pull_now();
+  }
+  return status;
+}
+
+}  // namespace naas::fleet

@@ -4,6 +4,9 @@
 #include <string.h>
 #include <sys/socket.h>
 
+#include <algorithm>
+#include <chrono>
+
 namespace naas::net {
 
 bool LineClient::connect(const std::string& host, int port, int timeout_ms,
@@ -36,6 +39,19 @@ bool LineClient::send_line(const std::string& line) {
 }
 
 bool LineClient::read_line(std::string* line, int timeout_ms) {
+  using Clock = std::chrono::steady_clock;
+  // The deadline covers the *whole* line, and the client-wide cap (when
+  // set) tightens it further; each poll below gets only the remaining
+  // budget, so a peer dribbling one byte per poll interval cannot extend
+  // the wait indefinitely.
+  int budget_ms = timeout_ms;
+  if (recv_deadline_ms_ >= 0 &&
+      (budget_ms < 0 || recv_deadline_ms_ < budget_ms)) {
+    budget_ms = recv_deadline_ms_;
+  }
+  const bool bounded = budget_ms >= 0;
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(bounded ? budget_ms : 0);
   for (;;) {
     const std::size_t nl = inbuf_.find('\n');
     if (nl != std::string::npos) {
@@ -44,8 +60,18 @@ bool LineClient::read_line(std::string* line, int timeout_ms) {
       return true;
     }
     if (eof_ || !fd_.valid()) return false;
+    int wait_ms = -1;
+    if (bounded) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            deadline - Clock::now())
+                            .count();
+      if (left <= 0) return false;
+      wait_ms = static_cast<int>(std::min<long long>(left, 60'000));
+    }
     pollfd p{fd_.get(), POLLIN, 0};
-    if (::poll(&p, 1, timeout_ms) <= 0) return false;
+    const int rc = ::poll(&p, 1, wait_ms);
+    if (rc < 0) return false;
+    if (rc == 0) continue;  // deadline check at loop head decides expiry
     char buf[4096];
     const IoResult r = read_some(fd_.get(), buf, sizeof(buf));
     if (r.status == IoStatus::kOk) {

@@ -27,8 +27,19 @@ class LineClient {
 
   /// Reads the next '\n'-terminated line (stripped) within `timeout_ms`.
   /// False on timeout, EOF, or error; eof() distinguishes a clean close.
+  /// `timeout_ms` is a *total* deadline for the whole line: a server that
+  /// trickles bytes without ever sending the newline cannot keep resetting
+  /// the clock, so a hung or byte-dribbling peer fails the call loudly in
+  /// bounded time instead of wedging a test or soak run forever.
   bool read_line(std::string* line, int timeout_ms);
   bool eof() const { return eof_; }
+
+  /// Optional client-wide receive deadline: when set (>= 0), every
+  /// read_line waits at most min(timeout_ms, this) — a one-line guard a
+  /// harness sets once instead of auditing every generous call-site
+  /// timeout. Negative (the default) disables the cap.
+  void set_recv_deadline_ms(int ms) { recv_deadline_ms_ = ms; }
+  int recv_deadline_ms() const { return recv_deadline_ms_; }
 
   /// Half-close: no more requests, responses still readable.
   void shutdown_write();
@@ -41,6 +52,7 @@ class LineClient {
   Fd fd_;
   std::string inbuf_;
   bool eof_ = false;
+  int recv_deadline_ms_ = -1;
 };
 
 }  // namespace naas::net

@@ -65,6 +65,12 @@ StoreStatus ArchEvaluator::save_store(const std::string& path) const {
   return ResultStore::save(path, cache_.snapshot());
 }
 
+std::size_t ArchEvaluator::adopt_entries(StoreEntries entries) {
+  const std::size_t inserted = cache_.preload(std::move(entries));
+  store_entries_loaded_ += inserted;
+  return inserted;
+}
+
 std::uint64_t ArchEvaluator::cache_key(const arch::ArchConfig& arch,
                                        const nn::Workload& layer) const {
   const std::uint64_t a = arch_fingerprint(arch);

@@ -136,7 +136,15 @@ class ArchEvaluator {
   /// `path` atomically. Call when evaluation is quiescent.
   StoreStatus save_store(const std::string& path) const;
 
-  /// Entries adopted from load_store() calls so far.
+  /// Bulk-adopts already-computed entries from somewhere other than a
+  /// store file — a fleet peer's pull_store payload, a test fixture.
+  /// Exactly a preload: existing keys win, nothing is metered as this
+  /// process's work, and the count lands in store_entries_loaded().
+  /// Returns how many entries were actually new. Not safe to call
+  /// concurrently with evaluation.
+  std::size_t adopt_entries(StoreEntries entries);
+
+  /// Entries adopted from load_store()/adopt_entries() calls so far.
   std::size_t store_entries_loaded() const { return store_entries_loaded_; }
 
   /// Monotonic cache-insertion counter (see EvalCache::sequence). Record it

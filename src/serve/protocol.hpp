@@ -23,10 +23,13 @@ namespace naas::serve {
 ///             "error": {"code": "<code>", "message": "..."}}
 ///
 /// Methods: "search_mapping", "evaluate_mapping", "evaluate_network",
-/// "cache_stats", "refresh". Success results for the evaluation methods
-/// are pure functions of (request, service options), never of cache state
-/// or timing — that is what makes a warm response diffable against a cold
-/// one.
+/// "cache_stats", "refresh", "ping" (liveness probe — the fleet router's
+/// health check), "pull_store" (peer replication — a hex-armored
+/// result-store snapshot the puller feeds through ResultStore::decode).
+/// Success results for the evaluation methods are pure functions of
+/// (request, service options), never of cache state or timing — that is
+/// what makes a warm response diffable against a cold one, and what lets
+/// the fleet router fail a request over to any peer whose options match.
 ///
 /// Error codes, stable for scripting:
 inline constexpr const char* kErrParse = "parse_error";
@@ -39,6 +42,12 @@ inline constexpr const char* kErrOverloaded = "overloaded";
 /// The request's deadline ("deadline_ms" field, or the server default)
 /// expired while it sat in the admission queue; it was never evaluated.
 inline constexpr const char* kErrDeadlineExceeded = "deadline_exceeded";
+/// Fleet router only: every worker that could own this request's shard is
+/// down (or failed within the forward budget). The request was never
+/// evaluated and is safe to resubmit — evaluations are pure and
+/// idempotent, which is also why the router may silently retry a forward
+/// on a peer before ever surfacing this.
+inline constexpr const char* kErrDegraded = "degraded";
 
 /// Defensive protocol limits, shared by the stdin driver and the TCP
 /// server. A request line longer than the cap is answered with a

@@ -29,7 +29,7 @@ Json extract_id(const std::string& line) {
 
 }  // namespace
 
-Server::Server(EvalService& service, ServerOptions options)
+Server::Server(LineHandler& service, ServerOptions options)
     : service_(service), options_(std::move(options)) {}
 
 Server::~Server() {

@@ -14,6 +14,7 @@
 
 #include "net/poller.hpp"
 #include "net/socket.hpp"
+#include "serve/line_handler.hpp"
 #include "serve/protocol.hpp"
 #include "serve/service.hpp"
 
@@ -73,8 +74,10 @@ struct ServerStats {
   long long batches_dispatched = 0;
 };
 
-/// Multi-client TCP front end over EvalService's transport-agnostic
-/// line-JSON protocol.
+/// Multi-client TCP front end over the transport-agnostic line-JSON
+/// protocol. Serves any LineHandler: a warm EvalService directly, or a
+/// fleet::Router that shards lines across N remote workers — the transport
+/// neither knows nor cares which.
 ///
 /// Architecture: two threads. The *net thread* (the caller of run()) owns
 /// every socket — a poll(2) readiness loop accepts, reads, frames lines,
@@ -98,7 +101,7 @@ struct ServerStats {
 /// returns — the SIGTERM story "finish what you took, persist, exit 0".
 class Server {
  public:
-  Server(EvalService& service, ServerOptions options);
+  Server(LineHandler& service, ServerOptions options);
   ~Server();
 
   Server(const Server&) = delete;
@@ -162,7 +165,7 @@ class Server {
   void wake_net_thread();
   bool drain_complete();
 
-  EvalService& service_;
+  LineHandler& service_;
   ServerOptions options_;
   ServerStats stats_;
 

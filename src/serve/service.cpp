@@ -2,6 +2,7 @@
 
 #include <sys/stat.h>
 
+#include <algorithm>
 #include <chrono>
 #include <exception>
 #include <stdexcept>
@@ -42,6 +43,15 @@ bool is_damaged(search::StoreStatus status) {
          status == search::StoreStatus::kCorrupt;
 }
 
+/// splitmix64 step for the backoff jitter stream: cheap, stateless beyond
+/// one word, and deterministic per service.
+std::uint64_t jitter_next(std::uint64_t* state) {
+  std::uint64_t x = (*state += 0x9e3779b97f4a7c15ULL);
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
 }  // namespace
 
 EvalService::EvalService(const ServeOptions& options)
@@ -60,6 +70,9 @@ EvalService::EvalService(const ServeOptions& options)
   // Entries adopted at boot are already on disk: start the flush mark past
   // them so the first refresh appends only work this process performs.
   flush_mark_ = evaluator_.cache_sequence();
+  backoff_jitter_state_ =
+      core::hash_mix(core::fnv1a64(options_.store_path),
+                     options_.mapping.seed);
 }
 
 EvalService::~EvalService() {
@@ -221,7 +234,9 @@ EvalService::Plan EvalService::plan_request(const Json& request) {
     plan.has_task = true;
     return plan;
   }
-  if (plan.method == "cache_stats" || plan.method == "refresh") return plan;
+  if (plan.method == "cache_stats" || plan.method == "refresh" ||
+      plan.method == "ping" || plan.method == "pull_store")
+    return plan;
   return fail(kErrUnknownMethod, "unknown method '" + plan.method + "'");
 }
 
@@ -257,6 +272,30 @@ Json EvalService::finish(const Plan& plan) {
     }
     if (plan.method == "cache_stats")
       return ok_response(plan.id, cache_stats_json());
+    if (plan.method == "ping") {
+      // Liveness probe for the fleet router's health checks: no locks, no
+      // evaluator state, nothing that can stall behind a slow store.
+      Json result = Json::object();
+      result.set("pong", Json::boolean(true));
+      return ok_response(plan.id, std::move(result));
+    }
+    if (plan.method == "pull_store") {
+      // The serve half of pull-based peer replication: a consistent cut of
+      // every memoized result, in the on-disk segment format (magic,
+      // version, algorithm epoch, checksum), hex-armored for the line
+      // protocol. The puller runs the same ResultStore::decode as a disk
+      // load, so a torn or damaged transfer is rejected/salvaged at
+      // segment granularity — never adopted wrong.
+      search::StoreEntries entries = evaluator_.snapshot_since(0);
+      const std::size_t count = entries.size();
+      const std::string encoded = search::ResultStore::encode(
+          std::move(entries));
+      Json result = Json::object();
+      result.set("entries", Json::integer(static_cast<std::int64_t>(count)));
+      result.set("format", Json::string("naasmaps-hex"));
+      result.set("data", Json::string(core::to_hex(encoded)));
+      return ok_response(plan.id, std::move(result));
+    }
     // "refresh"
     const search::StoreStatus status = refresh();
     Json result = Json::object();
@@ -270,6 +309,10 @@ Json EvalService::finish(const Plan& plan) {
     ++stats_.errors;
     return error_response(plan.id, kErrInternal, e.what());
   }
+}
+
+std::size_t EvalService::adopt_entries(search::StoreEntries entries) {
+  return evaluator_.adopt_entries(std::move(entries));
 }
 
 const nn::Network* EvalService::resolve_network(const std::string& name,
@@ -313,6 +356,8 @@ Json EvalService::cache_stats_json() const {
   obj.set("store_rewrites", Json::integer(stats_.store_rewrites));
   obj.set("store_refresh_retries",
           Json::integer(stats_.store_refresh_retries));
+  obj.set("store_refresh_backoff_ms",
+          Json::integer(stats_.store_refresh_backoff_ms));
   obj.set("requests_shed", Json::integer(requests_shed()));
   obj.set("requests_timed_out", Json::integer(requests_timed_out()));
   obj.set("protocol_rejects", Json::integer(protocol_rejects()));
@@ -342,17 +387,30 @@ search::StoreStatus EvalService::heal_store() {
 
 search::StoreStatus EvalService::refresh() {
   using search::StoreStatus;
-  // Bounded retry with exponential backoff for *transient* failures
-  // (kIoError). Damaged-store statuses are not retried here — they are
-  // healed by rewrite on the next pass — and a healthy pass returns
-  // immediately. Backoff stays tiny (1/2/4 ms): the point is to step over
-  // a momentary failure window, not to block the serving loop.
+  // Bounded retry with jittered exponential backoff for *transient*
+  // failures (kIoError). Damaged-store statuses are not retried here —
+  // they are healed by rewrite on the next pass — and a healthy pass
+  // returns immediately. Backoff stays tiny (base 1/2/4 ms): the point is
+  // to step over a momentary failure window, not to block the serving
+  // loop. The jitter (uniform in [base/2, base], drawn from a per-service
+  // deterministic stream) is a thundering-herd guard: N fleet workers
+  // sharing one store path that all see the same transient failure retry
+  // at decorrelated times instead of colliding again in lockstep. Total
+  // sleep time is metered as store_refresh_backoff_ms in cache_stats.
   constexpr int kMaxAttempts = 3;
   StoreStatus status = StoreStatus::kOk;
   for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
     if (attempt > 0) {
       ++stats_.store_refresh_retries;
-      std::this_thread::sleep_for(std::chrono::milliseconds(1 << (attempt - 1)));
+      const long long base_ms = 1LL << (attempt - 1);
+      const double unit =
+          static_cast<double>(jitter_next(&backoff_jitter_state_) >> 11) *
+          0x1.0p-53;
+      const long long sleep_ms = std::max<long long>(
+          1, static_cast<long long>(
+                 static_cast<double>(base_ms) * (0.5 + 0.5 * unit) + 0.5));
+      stats_.store_refresh_backoff_ms += sleep_ms;
+      std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
     }
     status = refresh_once();
     if (status != StoreStatus::kIoError) break;

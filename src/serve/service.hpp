@@ -11,6 +11,7 @@
 #include "cost/cost_model.hpp"
 #include "search/accelerator_search.hpp"
 #include "serve/json.hpp"
+#include "serve/line_handler.hpp"
 #include "serve/protocol.hpp"
 
 namespace naas::serve {
@@ -49,6 +50,11 @@ struct ServiceStats {
   long long store_entries_reloaded = 0;
   long long store_rewrites = 0;    ///< full-save heals of a rejected store
   long long store_refresh_retries = 0;  ///< transient-failure retry attempts
+  /// Total milliseconds refresh() slept in retry backoff. The backoff is
+  /// jittered (see refresh()), so N workers sharing one store that all hit
+  /// the same transient failure spread their retries instead of stampeding
+  /// the file together; this meter is what makes that time visible.
+  long long store_refresh_backoff_ms = 0;
 };
 
 /// Long-lived evaluator service: one warm ArchEvaluator (thread pool +
@@ -77,7 +83,7 @@ struct ServiceStats {
 /// drive the service from one front-end thread (concurrency lives inside
 /// the batch fan-out). All responses are pure functions of (request,
 /// options) except cache_stats/refresh, which report live counters.
-class EvalService {
+class EvalService : public LineHandler {
  public:
   explicit EvalService(const ServeOptions& options);
   /// Final incremental flush (unless readonly / no store).
@@ -96,7 +102,8 @@ class EvalService {
   /// Line front-ends: parse -> handle -> dump. A line that fails to parse
   /// yields a parse_error response in its slot; nothing throws.
   std::string handle_line(const std::string& line);
-  std::vector<std::string> handle_lines(const std::vector<std::string>& lines);
+  std::vector<std::string> handle_lines(
+      const std::vector<std::string>& lines) override;
 
   /// Incremental store refresh (no-op without a store): append-only flush
   /// of entries new since the last refresh, then reload-on-change for
@@ -110,16 +117,27 @@ class EvalService {
   /// entries are left for the next refresh. Returns the first non-kOk
   /// status of the last attempt (the service keeps running
   /// cold-for-the-miss either way).
-  search::StoreStatus refresh();
+  search::StoreStatus refresh() override;
+
+  /// Adopts mapping-search results computed by a *peer* process (the
+  /// pull half of fleet replication — see fleet::Replicator). Existing
+  /// keys win, exactly like a store preload, and adopted entries count as
+  /// store_entries_loaded, not as work this process performed. They enter
+  /// the cache with fresh sequence numbers, so the next refresh() appends
+  /// them to this process's own store: replication is durable, and a
+  /// SIGKILLed worker restarts warm even before its first peer pull.
+  /// Returns how many entries were actually new. Call from the serving
+  /// thread only (same no-reentrancy contract as handle_batch).
+  std::size_t adopt_entries(search::StoreEntries entries);
 
   /// Front-end notification hooks: requests rejected *before* evaluation
   /// (admission-queue shed, expired deadline, protocol-limit reject) never
   /// pass through handle_batch, but cache_stats must still report them.
   /// Thread-safe — the TCP front end sheds on its net thread while the
   /// eval thread serves.
-  void note_shed() { requests_shed_.fetch_add(1); }
-  void note_timeout() { requests_timed_out_.fetch_add(1); }
-  void note_protocol_reject() { protocol_rejects_.fetch_add(1); }
+  void note_shed() override { requests_shed_.fetch_add(1); }
+  void note_timeout() override { requests_timed_out_.fetch_add(1); }
+  void note_protocol_reject() override { protocol_rejects_.fetch_add(1); }
   long long requests_shed() const { return requests_shed_.load(); }
   long long requests_timed_out() const { return requests_timed_out_.load(); }
   long long protocol_rejects() const { return protocol_rejects_.load(); }
@@ -176,6 +194,11 @@ class EvalService {
   /// One append-then-reload refresh pass (refresh() adds the retry loop).
   search::StoreStatus refresh_once();
   std::unordered_map<std::string, nn::Network> network_memo_;
+  /// Deterministic per-service stream for the jittered refresh backoff
+  /// (seeded from the store path + mapping seed, so a fleet of workers
+  /// sharing one store draws *different* jitter). Timing-only state:
+  /// responses never depend on it.
+  std::uint64_t backoff_jitter_state_ = 0;
   std::atomic<long long> requests_shed_{0};
   std::atomic<long long> requests_timed_out_{0};
   std::atomic<long long> protocol_rejects_{0};

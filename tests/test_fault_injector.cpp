@@ -93,6 +93,29 @@ TEST(FaultInjector, MalformedSpecRejectsAndDisarms) {
   EXPECT_FALSE(FaultInjector::armed());
 }
 
+TEST(FaultInjector, OutOfRangeAndGarbageValuesRejectLoudly) {
+  // Every malformed spec must reject-and-disarm, never be quietly
+  // reinterpreted: a vacuously-armed injector makes fault runs green for
+  // the wrong reason.
+  std::string err;
+  for (const char* bad :
+       {"sock_read_short=1.5",       // probability > 1
+        "sock_read_short=-0.25",     // negative probability
+        "sock_read_short=0.5junk",   // trailing garbage after the number
+        "sock_read_short=0.5,extra", // item without '='
+        "sock_read_short=1@abc",     // non-numeric @maxfires
+        "sock_read_short=1@-3",      // negative @maxfires
+        "sock_read_short=1@",        // empty @maxfires
+        "sock_read_short=1+x",       // non-numeric +skip
+        "sock_read_short=1+"}) {     // empty +skip
+    err.clear();
+    EXPECT_FALSE(FaultInjector::instance().configure(bad, &err)) << bad;
+    EXPECT_FALSE(err.empty()) << bad;
+    EXPECT_FALSE(FaultInjector::armed()) << bad;
+    EXPECT_FALSE(core::fault("sock_read_short")) << bad;
+  }
+}
+
 TEST(FaultInjector, EmptySpecDisarms) {
   FaultInjector::instance().configure("store_save_fail=1");
   EXPECT_TRUE(FaultInjector::armed());

@@ -1,0 +1,91 @@
+#include "fleet/hash_ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace naas {
+namespace {
+
+using fleet::HashRing;
+
+TEST(HashRing, OwnerIsDeterministicAndInRange) {
+  const HashRing ring(4, 64);
+  for (std::uint64_t key = 0; key < 1000; ++key) {
+    const std::size_t w = ring.owner(key);
+    EXPECT_LT(w, 4u);
+    EXPECT_EQ(w, ring.owner(key));  // pure function of (key, fleet shape)
+  }
+  // An independently constructed identical ring routes identically — the
+  // property that lets a restarted router resume the same placement.
+  const HashRing twin(4, 64);
+  for (std::uint64_t key = 0; key < 1000; ++key)
+    EXPECT_EQ(ring.owner(key), twin.owner(key));
+}
+
+TEST(HashRing, VirtualNodesKeepShardsRoughlyBalanced) {
+  const std::size_t kWorkers = 4;
+  const HashRing ring(kWorkers, 64);
+  std::map<std::size_t, int> counts;
+  const int kKeys = 20000;
+  for (int i = 0; i < kKeys; ++i)
+    counts[ring.owner(0x9e3779b97f4a7c15ull * (i + 1))]++;
+  ASSERT_EQ(counts.size(), kWorkers);  // nobody starved
+  for (const auto& [w, n] : counts) {
+    // With 64 vnodes the per-worker share stays within a loose 2x band of
+    // fair (kKeys / kWorkers = 5000); gross imbalance means a broken ring.
+    EXPECT_GT(n, kKeys / (2 * static_cast<int>(kWorkers))) << "worker " << w;
+    EXPECT_LT(n, kKeys / static_cast<int>(kWorkers) * 2) << "worker " << w;
+  }
+}
+
+TEST(HashRing, PreferenceListsEveryWorkerOnceStartingAtOwner) {
+  const HashRing ring(5, 32);
+  for (std::uint64_t key = 1; key < 500; ++key) {
+    const std::vector<std::size_t> prefs = ring.preference(key);
+    ASSERT_EQ(prefs.size(), 5u);
+    EXPECT_EQ(prefs[0], ring.owner(key));
+    std::vector<bool> seen(5, false);
+    for (const std::size_t w : prefs) {
+      ASSERT_LT(w, 5u);
+      EXPECT_FALSE(seen[w]) << "duplicate worker in preference order";
+      seen[w] = true;
+    }
+  }
+}
+
+TEST(HashRing, FailoverMovesOnlyTheDeadWorkersKeys) {
+  // The consistent-hashing contract: skipping a dead worker (taking the
+  // next preference) moves only that worker's keys; everyone else's
+  // placement is untouched. A modulo hash would reshuffle nearly all.
+  const HashRing ring(4, 64);
+  const std::size_t dead = 2;
+  for (std::uint64_t key = 0; key < 2000; ++key) {
+    const std::vector<std::size_t> prefs = ring.preference(key);
+    const std::size_t with_dead =
+        prefs[0] == dead ? prefs[1] : prefs[0];  // router's skip rule
+    if (prefs[0] != dead) {
+      EXPECT_EQ(with_dead, prefs[0]) << "live key moved on unrelated death";
+    } else {
+      EXPECT_NE(with_dead, dead);
+    }
+  }
+}
+
+TEST(HashRing, SingleWorkerOwnsEverything) {
+  const HashRing ring(1, 8);
+  for (std::uint64_t key = 0; key < 100; ++key) {
+    EXPECT_EQ(ring.owner(key), 0u);
+    EXPECT_EQ(ring.preference(key).size(), 1u);
+  }
+}
+
+TEST(HashRing, ZeroVnodesClampsToOne) {
+  const HashRing ring(3, 0);
+  for (std::uint64_t key = 0; key < 100; ++key) EXPECT_LT(ring.owner(key), 3u);
+}
+
+}  // namespace
+}  // namespace naas

@@ -242,6 +242,55 @@ TEST(NaasServeProcess, StdinModeEnforcesProtocolLimits) {
   EXPECT_EQ(child.wait_exit(), 0);
 }
 
+TEST(NaasServeProcess, SigintDrainsStdinModeLikeSigterm) {
+  if (!binary_present()) GTEST_SKIP() << "naas_serve not in cwd";
+  const std::string store = temp_store_path("sigint_flush");
+  std::remove(store.c_str());
+
+  Child child;
+  ASSERT_TRUE(child.spawn({"--cache-path", store, "--refresh-every", "0"}));
+  ASSERT_TRUE(child.send(kSearchRequest + "\n\n"));
+  std::string response;
+  ASSERT_TRUE(child.read_stdout_line(&response));
+  EXPECT_NE(response.find("\"ok\":true"), std::string::npos) << response;
+
+  // Ctrl-C must behave exactly like SIGTERM: finish what was taken,
+  // flush the store, print the summary, exit 0 — not die mid-write.
+  ASSERT_EQ(::kill(child.pid, SIGINT), 0);
+  EXPECT_EQ(child.wait_exit(), 0);
+
+  std::string line;
+  bool saw_summary = false;
+  while (child.read_stderr_line(&line, 2000))
+    if (line.find("queries in") != std::string::npos) saw_summary = true;
+  EXPECT_TRUE(saw_summary) << "no exit summary after SIGINT";
+
+  const search::StoreLoadResult loaded = search::ResultStore::load(store);
+  EXPECT_EQ(loaded.status, search::StoreStatus::kOk);
+  EXPECT_EQ(loaded.entries.size(), 1u);
+  std::remove(store.c_str());
+}
+
+TEST(NaasServeProcess, MalformedFaultsSpecExitsLoudly) {
+  if (!binary_present()) GTEST_SKIP() << "naas_serve not in cwd";
+  // A typo'd fault spec must refuse to start (exit 2, the usage code) —
+  // a server quietly running with no faults armed would make a fault
+  // soak green for the wrong reason.
+  for (const char* bad : {"sock_read_short=2", "sock_read_short=1@abc",
+                          "sock_read_short"}) {
+    Child child;
+    ASSERT_TRUE(child.spawn({"--faults", bad}));
+    child.close_in();
+    EXPECT_EQ(child.wait_exit(), 2) << bad;
+    std::string line;
+    bool saw_reason = false;
+    while (child.read_stderr_line(&line, 2000))
+      if (line.find("bad --faults spec") != std::string::npos)
+        saw_reason = true;
+    EXPECT_TRUE(saw_reason) << bad;
+  }
+}
+
 TEST(NaasServeProcess, ListenModeServesAndDrainsOnSigterm) {
   if (!binary_present()) GTEST_SKIP() << "naas_serve not in cwd";
   Child child;
@@ -266,6 +315,34 @@ TEST(NaasServeProcess, ListenModeServesAndDrainsOnSigterm) {
   client.close();
 
   ASSERT_EQ(::kill(child.pid, SIGTERM), 0);
+  EXPECT_EQ(child.wait_exit(), 0);
+}
+
+TEST(NaasServeProcess, ListenModeDrainsOnSigint) {
+  if (!binary_present()) GTEST_SKIP() << "naas_serve not in cwd";
+  Child child;
+  ASSERT_TRUE(child.spawn({"--listen", "127.0.0.1:0"}));
+  int port = 0;
+  std::string line;
+  while (port == 0 && child.read_stderr_line(&line, 30000)) {
+    const std::size_t at = line.find("listening on 127.0.0.1:");
+    if (at != std::string::npos)
+      port = std::atoi(line.c_str() + at +
+                       std::strlen("listening on 127.0.0.1:"));
+  }
+  ASSERT_GT(port, 0);
+
+  // Serve one request, then Ctrl-C: the listen loop must drain and exit 0
+  // exactly as it does for SIGTERM.
+  net::LineClient client;
+  std::string err;
+  ASSERT_TRUE(client.connect("127.0.0.1", port, 5000, &err)) << err;
+  ASSERT_TRUE(client.send_line(kSearchRequest));
+  std::string response;
+  ASSERT_TRUE(client.read_line(&response, 60000));
+  EXPECT_NE(response.find("\"ok\":true"), std::string::npos);
+  client.close();
+  ASSERT_EQ(::kill(child.pid, SIGINT), 0);
   EXPECT_EQ(child.wait_exit(), 0);
 }
 

@@ -5,7 +5,10 @@
 #include <poll.h>
 #include <unistd.h>
 
+#include <atomic>
+#include <chrono>
 #include <string>
+#include <thread>
 
 #include "core/fault.hpp"
 #include "net/client.hpp"
@@ -198,6 +201,61 @@ TEST(Net, PollerReportsReadinessPerFd) {
   EXPECT_TRUE(poller.readable(pair.server_side.get()));
   // An fd the poller never registered is reported unready, not poked.
   EXPECT_FALSE(poller.readable(12345));
+}
+
+TEST(Net, ReadLineDeadlineIsTotalNotPerByte) {
+  Pair pair;
+  ASSERT_TRUE(pair.open());
+  // A server dribbling bytes without ever sending the newline must not
+  // keep resetting the clock: the deadline covers the whole line. Feed a
+  // byte every ~20ms from a helper thread and ask for a line within
+  // 150ms — the old per-poll semantics would have waited forever.
+  std::atomic<bool> stop{false};
+  std::thread dribble([&] {
+    const char byte = 'z';
+    while (!stop.load()) {
+      (void)net::write_some(pair.server_side.get(), &byte, 1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  });
+  std::string line;
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(pair.client.read_line(&line, 150));
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  EXPECT_GE(elapsed, 100);
+  EXPECT_LT(elapsed, 2000);  // failed at the deadline, not much later
+  stop.store(true);
+  dribble.join();
+}
+
+TEST(Net, RecvDeadlineCapsEveryReadLine) {
+  Pair pair;
+  ASSERT_TRUE(pair.open());
+  // The client-wide cap tightens even a generous per-call timeout, so one
+  // set_recv_deadline_ms call bounds a whole harness without auditing
+  // every read_line(…, 60000) call site.
+  pair.client.set_recv_deadline_ms(100);
+  std::string line;
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(pair.client.read_line(&line, 60'000));
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  EXPECT_LT(elapsed, 5000);
+  // The cap is an upper bound, not a replacement: a tighter caller
+  // timeout still wins, and data that arrives in time still reads fine.
+  const std::string payload = "ok\n";
+  std::size_t sent = 0;
+  while (sent < payload.size()) {
+    const net::IoResult r = net::write_some(
+        pair.server_side.get(), payload.data() + sent, payload.size() - sent);
+    ASSERT_NE(r.status, IoStatus::kError);
+    if (r.status == IoStatus::kOk) sent += r.bytes;
+  }
+  ASSERT_TRUE(pair.client.read_line(&line, 60'000));
+  EXPECT_EQ(line, "ok");
 }
 
 TEST(Net, ClientReadLineSplitsPipelinedResponses) {

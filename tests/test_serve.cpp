@@ -7,7 +7,9 @@
 #include <vector>
 
 #include "arch/presets.hpp"
+#include "core/serialize.hpp"
 #include "nn/model_zoo.hpp"
+#include "search/result_store.hpp"
 #include "serve/json.hpp"
 #include "serve/protocol.hpp"
 
@@ -485,6 +487,63 @@ TEST(EvalServiceTest, ReadonlyServiceAdoptsAnotherProcessesHeal) {
   reader.handle_line(search_line("cifarnet", 0));
   EXPECT_EQ(reader.evaluator().mapping_searches(), 0);
   std::remove(store.c_str());
+}
+
+TEST(EvalServiceTest, RefreshRetryBackoffIsMetered) {
+  // Every failed-append retry sleeps a jittered backoff; the meter makes
+  // that invisible time visible (and provable) through cache_stats.
+  const std::string store =
+      ::testing::TempDir() + "naas_no_such_dir/backoff.bin";
+  EvalService service(tiny_options(store));
+  service.handle_line(search_line("cifarnet", 0));
+  EXPECT_EQ(service.refresh(), search::StoreStatus::kIoError);
+  EXPECT_GT(service.stats().store_refresh_retries, 0);
+  // Jitter never rounds to zero: each retry contributes >= 1ms.
+  EXPECT_GE(service.stats().store_refresh_backoff_ms,
+            service.stats().store_refresh_retries);
+
+  const Json stats = parse_response(
+      service.handle_line(R"({"id":9,"method":"cache_stats"})"));
+  EXPECT_EQ(stats.get("result")->get("store_refresh_backoff_ms")->as_int(),
+            service.stats().store_refresh_backoff_ms);
+}
+
+TEST(EvalServiceTest, PingAnswersLocallyAndCheaply) {
+  EvalService service(tiny_options());
+  EXPECT_EQ(service.handle_line(R"({"id":7,"method":"ping"})"),
+            "{\"id\":7,\"ok\":true,\"result\":{\"pong\":true}}");
+  // Liveness must not cost evaluation work.
+  EXPECT_EQ(service.evaluator().mapping_searches(), 0);
+}
+
+TEST(EvalServiceTest, PullStoreRoundTripsThroughHexArmor) {
+  // The peer-replication wire format: pull_store hands back the full
+  // cache as hex-armored ResultStore segments; an adopting service
+  // answers the same queries warm, with zero searches of its own.
+  EvalService source(tiny_options());
+  source.handle_line(search_line("cifarnet", 0));
+  source.handle_line(search_line("cifarnet", 1, 2));
+  ASSERT_GT(source.evaluator().mapping_searches(), 0);
+
+  const Json pulled = parse_response(
+      source.handle_line(R"({"id":3,"method":"pull_store"})"));
+  ASSERT_TRUE(pulled.get("ok")->as_bool());
+  const Json* result = pulled.get("result");
+  EXPECT_EQ(result->get("format")->as_string(), "naasmaps-hex");
+  EXPECT_GE(result->get("entries")->as_int(), 2);
+
+  std::string bytes;
+  ASSERT_TRUE(core::from_hex(result->get("data")->as_string(), &bytes));
+  search::StoreLoadResult load =
+      search::ResultStore::decode(bytes.data(), bytes.size());
+  ASSERT_EQ(load.status, search::StoreStatus::kOk);
+
+  EvalService adopter(tiny_options());
+  EXPECT_EQ(adopter.adopt_entries(std::move(load.entries)),
+            static_cast<std::size_t>(result->get("entries")->as_int()));
+  const std::string warm = adopter.handle_line(search_line("cifarnet", 0));
+  EXPECT_EQ(warm, source.handle_line(search_line("cifarnet", 0)));
+  EXPECT_EQ(adopter.evaluator().mapping_searches(), 0);
 }
 
 TEST(EvalServiceTest, CacheStatsAndRefreshMethods) {
