@@ -1,0 +1,157 @@
+// Analytical surrogate pruning: run_naas with --surrogate off vs prune on
+// the same budget. Emits BENCH_surrogate.json for CI trend tracking.
+//
+// Two properties are asserted, not assumed:
+//  - surrogate_never_changed_best: the pruned run returns exactly the
+//    surrogate-off best (EDP and architecture fingerprint) — the roofline
+//    bound is exact, and the rank-safe deferral in run_naas keeps even the
+//    CMA trajectory bit-identical, so pruning can only skip work, never
+//    steer the search;
+//  - prune_thread_invariant: the pruned run's full outcome and meters are
+//    identical at 1 and 4 threads (the kept/rescued split is decided
+//    against deterministic rank data at structural points).
+// The perf story is mapping_searches_saved: every pruned candidate skips
+// its entire per-layer mapping search for the cost of a closed-form bound.
+
+#include "bench_common.hpp"
+
+#include <cstdio>
+
+#include "nn/layer.hpp"
+#include "search/surrogate.hpp"
+
+namespace {
+
+using namespace naas;
+
+/// Same mixed-layer workload as bench_async_pipeline: heterogeneous layer
+/// costs make the skipped mapping searches expensive enough to matter.
+nn::Network mixed_network() {
+  nn::Network net("bench-mixed", {});
+  net.add(nn::make_conv("stem", 3, 64, 7, 2, 112));
+  net.add(nn::make_conv("mid", 64, 128, 3, 1, 28));
+  net.add(nn::make_dwconv("dw", 96, 3, 1, 56));
+  net.add(nn::make_conv("tail", 128, 256, 3, 1, 14));
+  net.add(nn::make_fc("fc", 1024, 1000));
+  return net;
+}
+
+bool same_outcome(const search::NaasResult& a, const search::NaasResult& b) {
+  return a.best_geomean_edp == b.best_geomean_edp &&
+         search::arch_fingerprint(a.best_arch) ==
+             search::arch_fingerprint(b.best_arch);
+}
+
+void reproduce_surrogate(const bench::Budget& budget) {
+  bench::print_header(
+      "Surrogate pruning: roofline lower bound vs full mapping search");
+
+  const cost::CostModel model;
+  const std::vector<nn::Network> nets{mixed_network()};
+  search::NaasOptions nopts = budget.naas_options(arch::eyeriss_resources());
+
+  search::NaasOptions off = nopts;
+  off.surrogate = search::SurrogateMode::kOff;
+  off.num_threads = 1;
+  const auto res_off = search::run_naas(model, off, nets);
+
+  search::NaasOptions prune = nopts;
+  prune.surrogate = search::SurrogateMode::kPrune;
+  prune.num_threads = 1;
+  const auto res_prune1 = search::run_naas(model, prune, nets);
+
+  search::NaasOptions prune4 = prune;
+  prune4.num_threads = 4;
+  const auto res_prune4 = search::run_naas(model, prune4, nets);
+
+  const bool never_changed_best = same_outcome(res_off, res_prune1) &&
+                                  same_outcome(res_off, res_prune4);
+  const bool thread_invariant =
+      res_prune1.mapping_searches == res_prune4.mapping_searches &&
+      res_prune1.surrogate_consults == res_prune4.surrogate_consults &&
+      res_prune1.surrogate_pruned == res_prune4.surrogate_pruned &&
+      res_prune1.population_best_edp == res_prune4.population_best_edp;
+  const long long saved = res_off.mapping_searches - res_prune1.mapping_searches;
+
+  core::Table t({"Mode", "Mapping searches", "Consults", "Pruned",
+                 "Best geomean EDP"});
+  t.add_row({"off", core::Table::fmt_int(res_off.mapping_searches), "0", "0",
+             core::Table::fmt(res_off.best_geomean_edp, 4)});
+  t.add_row({"prune (1 thr)", core::Table::fmt_int(res_prune1.mapping_searches),
+             core::Table::fmt_int(res_prune1.surrogate_consults),
+             core::Table::fmt_int(res_prune1.surrogate_pruned),
+             core::Table::fmt(res_prune1.best_geomean_edp, 4)});
+  t.add_row({"prune (4 thr)", core::Table::fmt_int(res_prune4.mapping_searches),
+             core::Table::fmt_int(res_prune4.surrogate_consults),
+             core::Table::fmt_int(res_prune4.surrogate_pruned),
+             core::Table::fmt(res_prune4.best_geomean_edp, 4)});
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf("mapping searches saved by pruning: %lld\n", saved);
+  std::printf("surrogate never changed best: %s\n",
+              never_changed_best ? "yes" : "NO (BUG)");
+  std::printf("prune run thread-invariant: %s\n",
+              thread_invariant ? "yes" : "NO (BUG)");
+
+  FILE* f = std::fopen("BENCH_surrogate.json", "w");
+  if (!f) {
+    std::printf("could not open BENCH_surrogate.json for writing\n");
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"surrogate\",\n");
+  std::fprintf(f, "  \"scenario\": \"mixed_layer_eyeriss\",\n");
+  std::fprintf(f, "  \"network\": \"%s\",\n", nets[0].name().c_str());
+  std::fprintf(f, "  \"mapping_searches_off\": %lld,\n",
+               res_off.mapping_searches);
+  std::fprintf(f, "  \"mapping_searches_prune\": %lld,\n",
+               res_prune1.mapping_searches);
+  std::fprintf(f, "  \"mapping_searches_saved\": %lld,\n", saved);
+  std::fprintf(f, "  \"surrogate_consults\": %lld,\n",
+               res_prune1.surrogate_consults);
+  std::fprintf(f, "  \"surrogate_pruned\": %lld,\n",
+               res_prune1.surrogate_pruned);
+  std::fprintf(f, "  \"surrogate_never_changed_best\": %s,\n",
+               never_changed_best ? "true" : "false");
+  std::fprintf(f, "  \"prune_thread_invariant\": %s\n",
+               thread_invariant ? "true" : "false");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote BENCH_surrogate.json\n");
+}
+
+/// Closed-form roofline bound for a whole network: the per-candidate cost
+/// of consulting the surrogate gate.
+void BM_SurrogateNetworkBound(benchmark::State& state) {
+  const cost::CostModel model;
+  const nn::Network net = mixed_network();
+  const arch::ArchConfig arch = arch::eyeriss_arch();
+  for (auto _ : state) {
+    const double lb = search::surrogate_network_edp_bound(model, arch, net);
+    benchmark::DoNotOptimize(lb);
+  }
+}
+BENCHMARK(BM_SurrogateNetworkBound)->Unit(benchmark::kMicrosecond);
+
+/// The work the bound replaces: a full per-layer mapping search for the
+/// same (arch, network) pair at the bench's mapping budget.
+void BM_FullMappingSearch(benchmark::State& state) {
+  const cost::CostModel model;
+  const nn::Network net = mixed_network();
+  const arch::ArchConfig arch = arch::eyeriss_arch();
+  search::MappingSearchOptions mopts;
+  mopts.population = 8;
+  mopts.iterations = 5;
+  for (auto _ : state) {
+    search::ArchEvaluator evaluator(model, mopts);
+    const auto nc = evaluator.evaluate(arch, net);
+    benchmark::DoNotOptimize(nc.edp);
+  }
+}
+BENCHMARK(BM_FullMappingSearch)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  reproduce_surrogate(naas::bench::Budget::from_env());
+  return naas::bench::run_microbenchmarks(argc, argv);
+}

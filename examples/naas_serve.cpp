@@ -362,6 +362,9 @@ int main(int argc, char** argv) {
                service.evaluator().tasks_executed(),
                service.evaluator().speculative_hits(),
                service.evaluator().speculative_wasted());
+  std::fprintf(stderr, "serve: surrogate: %lld consults, %lld pruned\n",
+               service.evaluator().surrogate_consults(),
+               service.evaluator().surrogate_pruned());
   std::fprintf(stderr,
                "serve: robustness: %lld shed, %lld timed out, %lld protocol "
                "rejects; store refresh retries: %lld\n",

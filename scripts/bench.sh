@@ -32,14 +32,16 @@ run_bench() {
 # itself, the serving bench BENCH_serve.json, the batched-cost-model bench
 # BENCH_cost_batch.json, the async-pipeline bench BENCH_async.json, the
 # transformer smoke BENCH_transformer.json (batch==scalar and warm
-# zero-search asserted on matmul/attention workloads), the TCP transport
-# bench BENCH_net.json, the sharded-fleet bench BENCH_fleet.json (byte
-# identity to a single service, failover latency, and zero-search rejoin
-# asserted); table4 prints the serial-vs-parallel and cold-vs-warm
-# comparisons.
+# zero-search asserted on matmul/attention workloads), the surrogate bench
+# BENCH_surrogate.json (roofline pruning saves mapping searches with the
+# returned best asserted unchanged), the TCP transport bench
+# BENCH_net.json, the sharded-fleet bench BENCH_fleet.json (byte identity
+# to a single service, failover latency, and zero-search rejoin asserted);
+# table4 prints the serial-vs-parallel and cold-vs-warm comparisons.
 run_bench bench_cost_batch
 run_bench bench_transformer
 run_bench bench_async_pipeline
+run_bench bench_surrogate
 run_bench bench_parallel_scaling
 run_bench bench_serve_throughput
 run_bench bench_net
@@ -57,3 +59,25 @@ fi
 echo
 echo "artifacts:"
 ls -1 "$BUILD_DIR"/BENCH_*.json
+
+# Fold every per-bench reproduction artifact into one BENCH_summary.json so
+# trend tooling reads a single file. Keyed by the artifact's basename
+# without the BENCH_ prefix; google-benchmark *_micro.json dumps stay
+# separate (they are per-machine timings, not tracked properties).
+python3 - "$BUILD_DIR" <<'EOF'
+import glob, json, os, sys
+
+build = sys.argv[1]
+summary = {}
+for path in sorted(glob.glob(os.path.join(build, "BENCH_*.json"))):
+    base = os.path.basename(path)[len("BENCH_"):-len(".json")]
+    if base == "summary" or base.endswith("_micro"):
+        continue
+    with open(path) as f:
+        summary[base] = json.load(f)
+out = os.path.join(build, "BENCH_summary.json")
+with open(out, "w") as f:
+    json.dump(summary, f, indent=2, sort_keys=True)
+    f.write("\n")
+print("summary:", out, "(%d benches)" % len(summary))
+EOF

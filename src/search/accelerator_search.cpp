@@ -8,12 +8,12 @@
 #include <stdexcept>
 #include <utility>
 
-#include "core/rng.hpp"
 #include "core/serialize.hpp"
 #include "core/stats.hpp"
 #include "core/timer.hpp"
 #include "search/cma_es.hpp"
 #include "search/eval_pipeline.hpp"
+#include "search/speculation.hpp"
 
 namespace naas::search {
 namespace {
@@ -36,11 +36,6 @@ std::uint64_t options_fingerprint(const MappingSearchOptions& o) {
   h = hash_mix(h, o.encoding.grow_tiles ? 1 : 0);
   return h;
 }
-
-/// RNG stream domain of the speculative next-generation predictors (one
-/// stream per outer generation, all derived from the search seed, none of
-/// them ever advancing the optimizer's own stream).
-constexpr std::uint64_t kSpeculationStreamBase = 0x53504543ULL;  // "SPEC"
 
 }  // namespace
 
@@ -104,12 +99,21 @@ void ArchEvaluator::record_real_publish(const MappingSearchResult& entry) {
 void ArchEvaluator::record_speculative_publish(std::uint64_t key) {
   std::lock_guard<std::mutex> lk(speculative_mutex_);
   speculative_unclaimed_.insert(key);
+  // Tag the resident entry so store snapshots skip it until first real
+  // touch: dead speculation must never bloat a persistent store. The
+  // shard lock nests inside speculative_mutex_ (see the lock-hierarchy
+  // note in eval_pipeline.cpp), keeping tag and bookkeeping atomic.
+  cache_.mark_speculative(key);
 }
 
 void ArchEvaluator::claim_speculative(std::uint64_t key) {
   {
     std::lock_guard<std::mutex> lk(speculative_mutex_);
     if (speculative_unclaimed_.erase(key) == 0) return;
+    // Untag under the same lock that tagged it; the entry re-enters
+    // snapshot visibility with a fresh sequence number so incremental
+    // flushes that already passed its original mark still pick it up.
+    cache_.claim_speculative(key);
   }
   speculative_hits_.fetch_add(1);
   // Transfer the entry's meters into the real counters: this is the moment
@@ -316,6 +320,14 @@ NaasResult run_naas(const cost::CostModel& model, const NaasOptions& options,
     std::vector<arch::ArchConfig> configs;  ///< current generation decodes
     std::vector<double> edps;               ///< per-genome fitness slots
     int iter = 0;
+    /// Admitted (fully evaluated) genomes still outstanding this
+    /// generation; when the count hits zero the deferred surrogate-prune
+    /// decisions resolve against the generation's mu-th-best fitness.
+    std::size_t admitted_pending = 0;
+    /// Deferred surrogate candidates: (slot, lower bound) for genomes whose
+    /// bound exceeded the admission threshold. They report only after the
+    /// admitted results are in (see resolve_pruned_locked).
+    std::vector<std::pair<std::size_t, double>> pruned;
   } outer;
 
   // Requests every unique (candidate, layer) chain the candidate needs;
@@ -326,46 +338,52 @@ NaasResult run_naas(const cost::CostModel& model, const NaasOptions& options,
   };
 
   // Speculative prefetch (ROADMAP's async item): while the just-submitted
-  // generation drains, pre-evaluate likely members of the *next* one —
-  // mean-centered resamples from the current CMA distribution, drawn from
-  // a per-generation stream so the optimizer's own stream never moves.
-  // Requests go in at idle priority under the standard cache keys:
-  // speculation can only produce future hits, never different results.
+  // generation drains, pre-evaluate the decoded architectures the *next*
+  // generation is most likely to contain. The decode-bucket predictor
+  // (search/speculation.*) enumerates the highest-probability quantization
+  // cells of the current CMA distribution per gene and composes the top-K
+  // joint decodes — it reads only the distribution's mean and marginal
+  // deviations, never a generator, so the optimizer's stream is untouched
+  // and the predicted set is a pure function of the distribution. Requests
+  // go in at idle priority under the standard cache keys: speculation can
+  // only produce future hits, never different results.
   //
-  // Self-limiting: predictions hit only when the encoding's decode buckets
-  // are coarse relative to the current distribution (exact-config
-  // collisions). After kSpeculationProbeRounds fully-missed rounds the
-  // planner stops paying for prefetch that this encoding/budget cannot
-  // cash; any hit keeps it alive. The gate reads only deterministic
-  // meters, so the planned request set — and with it every meter — stays
-  // identical for every thread count.
+  // Self-limiting, re-armable: predictions cash only while the sampler
+  // keeps landing in the predicted decode cells — which happens when the
+  // distribution has concentrated enough that its top joint cells carry
+  // real mass, i.e. mid-to-late search, not at the diffuse start. After
+  // kSpeculationProbeRounds consecutive rounds with no NEW hit the planner
+  // parks; while parked it still probes one round every
+  // kSpeculationReprobeRounds planning opportunities, so a search that
+  // converges long after the opening rounds still discovers that
+  // speculation has started paying. Any hit (including a straggling
+  // speculative chain claimed while parked) fully re-arms continuous
+  // planning. The gate reads only deterministic meters at structurally
+  // fixed points, so the planned request set — and with it every meter —
+  // stays identical for every thread count.
   constexpr int kSpeculationProbeRounds = 3;
-  int speculation_rounds = 0;
-  const auto plan_speculation = [&](int upcoming_generation) {
+  constexpr int kSpeculationReprobeRounds = 4;
+  int hitless_rounds = 0;
+  int parked_rounds = 0;
+  long long last_seen_hits = 0;
+  const auto plan_speculation = [&] {
     if (!options.speculate) return;
-    if (speculation_rounds >= kSpeculationProbeRounds &&
-        evaluator.speculative_hits() == 0) {
-      return;
+    const long long hits = evaluator.speculative_hits();
+    if (hits > last_seen_hits) {
+      last_seen_hits = hits;
+      hitless_rounds = 0;
+      parked_rounds = 0;
     }
-    ++speculation_rounds;
-    core::Rng rng = core::rng_stream(
-        options.seed,
-        kSpeculationStreamBase +
-            static_cast<std::uint64_t>(upcoming_generation));
-    for (int k = 0; k < options.population; ++k) {
-      // Spread the predictions from the distribution mode outward: the
-      // clamped mean is the single likeliest decode, half-sigma draws
-      // cover the high-density core, full-sigma draws the tails. Discrete
-      // decode buckets make mode-adjacent predictions the ones that
-      // actually collide with real next-generation candidates.
-      const double shrink =
-          k == 0 ? 0.0 : (2 * k <= options.population ? 0.5 : 1.0);
-      const std::vector<double> genome = cma.sample_speculative(rng, shrink);
-      if (!hw.valid(genome)) continue;
-      const arch::ArchConfig cfg = hw.decode(genome);
-      if (!options.resources.allows(cfg)) continue;
-      request_layers(cfg, /*speculative=*/true);
+    if (hitless_rounds >= kSpeculationProbeRounds) {
+      if (++parked_rounds < kSpeculationReprobeRounds) return;
+      parked_rounds = 0;  // periodic probe while parked
+    } else {
+      ++hitless_rounds;
     }
+    SpeculationPredictorOptions predictor;
+    predictor.top_k = options.population;
+    for (const auto& cand : predict_decode_buckets(cma, hw, predictor))
+      request_layers(cand.config, /*speculative=*/true);
   };
 
   std::function<void()> start_generation;  // assigned below; tasks recurse
@@ -410,38 +428,136 @@ NaasResult run_naas(const cost::CostModel& model, const NaasOptions& options,
     report_locked(k, edp);
   };
 
-  // Samples a generation, submits one assembly task per resource-feasible
-  // genome (gated on exactly its layer chains), plans speculation for the
-  // generation after, and reports infeasible genomes immediately. Called
-  // with outer.mutex held.
+  // Resolves this generation's deferred surrogate candidates once every
+  // admitted genome has reported. CmaEs::tell is rank-only (see
+  // CmaEs::parents), so a pruned candidate may keep its lower bound as
+  // fitness exactly when the bound is strictly worse than the generation's
+  // mu-th best reported fitness: the candidate then sits outside the parent
+  // set under either its bound or its (>= bound) true cost, and the
+  // distribution update is bit-identical to surrogate-off. A bound that is
+  // not strictly worse could re-rank the parents, so that candidate is
+  // rescued — evaluated for real like any admitted genome. Every input here
+  // (the reported fitness vector, the bounds, mu) is deterministic, so the
+  // kept/rescued split — and with it every meter — is thread-count and
+  // schedule independent. Runs under outer.mutex.
+  const auto resolve_pruned_locked = [&] {
+    if (outer.pruned.empty()) return;
+    std::vector<std::pair<std::size_t, double>> pruned;
+    pruned.swap(outer.pruned);
+    std::vector<char> deferred(outer.edps.size(), 0);
+    for (const auto& [k, lb] : pruned) deferred[k] = 1;
+    std::vector<double> reported;
+    reported.reserve(outer.edps.size());
+    for (std::size_t k = 0; k < outer.edps.size(); ++k)
+      if (!deferred[k]) reported.push_back(outer.edps[k]);
+    const std::size_t mu = std::min<std::size_t>(
+        static_cast<std::size_t>(cma.parents()), outer.edps.size());
+    double threshold = std::numeric_limits<double>::infinity();
+    if (mu > 0 && reported.size() >= mu) {
+      std::nth_element(reported.begin(),
+                       reported.begin() + static_cast<std::ptrdiff_t>(mu - 1),
+                       reported.end());
+      threshold = reported[mu - 1];
+    }
+    for (const auto& [k, lb] : pruned) {
+      const bool keep = lb > threshold;
+      evaluator.note_surrogate_consult(keep);
+      if (keep) {
+        // Outside the parent set and above the admission threshold: its
+        // mapping searches can change neither the distribution update nor
+        // the returned best. The bound stands in as its fitness.
+        report_locked(k, lb);
+      } else {
+        const auto deps = request_layers(outer.configs[k], false);
+        graph.submit(
+            [&outer, &evaluator, &benchmarks, &report, k] {
+              report(k,
+                     evaluator.assembled_geomean(outer.configs[k], benchmarks));
+            },
+            deps);
+      }
+    }
+  };
+
+  // Fitness report from an admitted genome's assembly task; the last one
+  // triggers the deferred prune resolution above. Resolution runs BEFORE
+  // this slot's tell_partial: the threshold must see this fitness, and the
+  // kept/rescued reports must land while this slot still holds the
+  // generation open (tell_partial completing the generation recurses into
+  // the next one, which would repoint outer.pruned).
+  const auto report_admitted = [&](std::size_t k, double edp) {
+    std::lock_guard<std::mutex> lk(outer.mutex);
+    outer.edps[k] = edp;
+    if (--outer.admitted_pending == 0) resolve_pruned_locked();
+    if (cma.tell_partial(k, edp)) generation_complete();
+  };
+
+  // Samples a generation, submits one assembly task per admitted genome
+  // (gated on exactly its layer chains), plans speculation for the
+  // generation after, and reports infeasible genomes immediately.
+  // Surrogate-deferred genomes resolve when the admitted results are in.
+  // Called with outer.mutex held.
   start_generation = [&] {
     const auto& population = cma.begin_generation(is_valid);
     const std::size_t lambda = population.size();
     outer.configs.assign(lambda, arch::ArchConfig{});
     outer.edps.assign(lambda, std::numeric_limits<double>::infinity());
+    // Admission threshold of this generation's surrogate gate: the best
+    // geomean EDP known when the generation starts. Generation starts are
+    // structural (the completing report of the previous generation, or the
+    // seed finalize), so the threshold — and the pruned set — is identical
+    // for every thread count.
+    const double admission = result.best_geomean_edp;
     std::vector<std::size_t> infeasible;
+    std::vector<std::size_t> admitted;
+    outer.pruned.clear();
     for (std::size_t k = 0; k < lambda; ++k) {
       outer.configs[k] = hw.decode(population[k]);
       if (!options.resources.allows(outer.configs[k])) {
         infeasible.push_back(k);
         continue;
       }
+      if (options.surrogate == SurrogateMode::kPrune &&
+          std::isfinite(admission)) {
+        const double lb = surrogate_geomean_edp_bound(
+            backend_model, outer.configs[k], benchmarks);
+        if (lb > admission) {
+          // The bound is exact, so this candidate's true geomean EDP is at
+          // least `lb` > the best already found: paying for its mapping
+          // searches cannot change the returned design. Whether it may
+          // also skip them without perturbing the distribution update is
+          // decided against the generation's parent ranks once the
+          // admitted results are in (resolve_pruned_locked); the consult
+          // meter is noted there, with the final verdict.
+          outer.pruned.emplace_back(k, lb);
+          continue;
+        }
+        evaluator.note_surrogate_consult(false);
+      }
+      admitted.push_back(k);
+    }
+    outer.admitted_pending = admitted.size();
+    for (const std::size_t k : admitted) {
       const auto deps = request_layers(outer.configs[k], false);
       graph.submit(
-          [&outer, &evaluator, &benchmarks, &report, k] {
+          [&outer, &evaluator, &benchmarks, &report_admitted, k] {
             // Pure assembly: this task is gated on exactly its layer
             // chains, so every key is resident — no pipeline needed.
-            report(k,
-                   evaluator.assembled_geomean(outer.configs[k], benchmarks));
+            report_admitted(
+                k, evaluator.assembled_geomean(outer.configs[k], benchmarks));
           },
           deps);
     }
-    plan_speculation(outer.iter + 1);
+    plan_speculation();
     // Infeasible genomes cost nothing to score; reporting them last keeps
-    // a fully-infeasible generation correct (the final report completes
-    // the generation and recurses into the next one right here).
+    // a generation with no admitted candidate correct (the final report
+    // completes the generation and recurses into the next one right here).
     for (const std::size_t k : infeasible)
       report_locked(k, std::numeric_limits<double>::infinity());
+    // No admitted genome will fire the resolution trigger: resolve the
+    // deferred candidates now (with nothing finite reported, they are all
+    // rescued — rank fidelity cannot spare any of them).
+    if (admitted.empty()) resolve_pruned_locked();
   };
 
   // Warm start: evaluate the seed designs (reference baseline + any user
@@ -498,7 +614,7 @@ NaasResult run_naas(const cost::CostModel& model, const NaasOptions& options,
         }
       },
       seed_tasks);
-  plan_speculation(0);
+  plan_speculation();
 
   pipeline.run();  // drives the whole evolution; folds scheduler meters
 
@@ -515,6 +631,8 @@ NaasResult run_naas(const cost::CostModel& model, const NaasOptions& options,
   result.tasks_executed = evaluator.tasks_executed();
   result.speculative_hits = evaluator.speculative_hits();
   result.speculative_wasted = evaluator.speculative_wasted();
+  result.surrogate_consults = evaluator.surrogate_consults();
+  result.surrogate_pruned = evaluator.surrogate_pruned();
   result.wall_seconds = timer.seconds();
   return result;
 }

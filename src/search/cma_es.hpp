@@ -72,27 +72,30 @@ class CmaEs {
   /// search loop with a mutex).
   bool tell_partial(std::size_t index, double fitness);
 
-  /// Mean-centered resample from the *current* distribution through an
-  /// external generator: clamp(mean + shrink * sigma * L z), z ~ N(0, I)
-  /// from `rng`. This is the speculative-evaluation predictor —
-  /// statistically a preview of what the next ask() is likely to decode
-  /// to — and because the draw comes from `rng`, the optimizer's own
-  /// stream never advances. `shrink` concentrates the prediction toward
-  /// the distribution mode (0 returns the clamped mean itself, the single
-  /// likeliest decode; 1 reproduces the sampling distribution): discrete
-  /// decodes bucket the space, so predictions near the mode collide with
-  /// real next-generation candidates far more often than full-sigma draws.
-  std::vector<double> sample_speculative(core::Rng& rng,
-                                         double shrink = 1.0) const;
-
   /// Current distribution mean.
   const std::vector<double>& mean() const { return mean_; }
 
   /// Current global step size.
   double sigma() const { return sigma_; }
 
+  /// Marginal standard deviation of coordinate `i` under the current
+  /// sampling distribution: sigma * sqrt(C[i][i]). This is the read-only
+  /// window the decoded-space speculation predictor uses to weight decode
+  /// cells by their per-dimension Gaussian mass (search/speculation.*);
+  /// it touches no generator state, so consulting it never advances the
+  /// optimizer's stream.
+  double marginal_stddev(int i) const;
+
   /// Generations processed so far.
   int generation() const { return generation_; }
+
+  /// Configured parent count mu. tell() consumes fitness values ONLY
+  /// through the rank order of the best min(mu, lambda) candidates — the
+  /// update never reads a fitness numerically — so a candidate whose
+  /// reported fitness is strictly worse than the generation's mu-th best
+  /// influences the distribution identically no matter what that value is.
+  /// The surrogate pruning gate in run_naas rests on this contract.
+  int parents() const { return mu_; }
 
   /// Candidates that exhausted max_resample and fell back to the clamped
   /// mean. ask() therefore never returns a point the caller's decode cannot

@@ -7,11 +7,15 @@
 namespace naas::search {
 
 // Lock hierarchy: mutex_ (chain bookkeeping) may be held while taking the
-// evaluator's speculative_mutex_ (a leaf), and NOTHING else — never the
-// graph mutex, never a cache shard. Graph submission and cache access
-// happen unlocked, which is safe because request() is driven from one
-// logical thread at a time (see the header contract); mutex_ exists to
-// order that bookkeeping against concurrently executing publish bodies.
+// evaluator's speculative_mutex_, which in turn may take exactly one
+// EvalCache shard lock (the speculative tag travels with the bookkeeping:
+// record_speculative_publish / claim_speculative mark and unmark the
+// resident entry under speculative_mutex_). Nothing else — never the
+// graph mutex. Graph submission and bulk cache access happen unlocked,
+// which is safe because request() is driven from one logical thread at a
+// time (see the header contract); mutex_ exists to order that bookkeeping
+// against concurrently executing publish bodies. No path acquires a shard
+// lock and then mutex_ or speculative_mutex_, so the order is acyclic.
 
 EvalPipeline::EvalPipeline(ArchEvaluator& evaluator)
     : evaluator_(evaluator), graph_(evaluator.pool()) {}

@@ -1,0 +1,195 @@
+#include "search/speculation.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <set>
+#include <unordered_set>
+#include <utility>
+
+namespace naas::search {
+namespace {
+
+/// Gaussian CDF at `x` for N(mean, sd). sd > 0. Infinite `x` is fine
+/// (erfc saturates), which is how the boundary cells absorb the mass the
+/// sampler's clamp folds onto 0 and 1.
+double normal_cdf(double x, double mean, double sd) {
+  return 0.5 * std::erfc((mean - x) / (sd * std::sqrt(2.0)));
+}
+
+/// One decode cell of a single gene: a maximal interval over which the
+/// decoded architecture fingerprint is constant (all other genes held at
+/// the distribution mean), with its Gaussian marginal mass.
+struct Cell {
+  double rep = 0.5;  ///< representative gene value inside the cell
+  double mass = 0.0;
+};
+
+/// Locates the decode cells of gene `dim_index` by probing a fine grid
+/// (plus the clamped mean itself) and fingerprinting each decode, then
+/// weights every cell by the marginal N(mu, sd) mass between its
+/// boundaries (midpoints between adjacent differing probes; the first and
+/// last cells extend to ±inf so clamped mass lands where the sampler puts
+/// it). Returns at most `max_cells` cells, highest mass first.
+std::vector<Cell> probe_dim_cells(const HwEncodingSpec& spec,
+                                  const std::vector<double>& mean_context,
+                                  int dim_index, double mu, double sd,
+                                  int grid, int max_cells) {
+  const double cmu = std::clamp(mu, 0.0, 1.0);
+  std::vector<double> points;
+  points.reserve(static_cast<std::size_t>(grid) + 1);
+  for (int j = 0; j < grid; ++j)
+    points.push_back(static_cast<double>(j) / (grid - 1));
+  points.push_back(cmu);
+  std::sort(points.begin(), points.end());
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+
+  std::vector<double> genome = mean_context;
+  std::vector<std::uint64_t> fps(points.size());
+  for (std::size_t j = 0; j < points.size(); ++j) {
+    genome[static_cast<std::size_t>(dim_index)] = points[j];
+    fps[j] = arch_fingerprint(spec.decode(genome));
+  }
+
+  // Maximal runs of equal fingerprint = cells.
+  struct Run {
+    std::size_t first = 0, last = 0;
+  };
+  std::vector<Run> runs;
+  for (std::size_t j = 0; j < points.size(); ++j) {
+    if (j == 0 || fps[j] != fps[j - 1]) runs.push_back({j, j});
+    runs.back().last = j;
+  }
+
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<Cell> cells;
+  cells.reserve(runs.size());
+  for (std::size_t r = 0; r < runs.size(); ++r) {
+    const double lo = r == 0 ? -inf
+                             : 0.5 * (points[runs[r - 1].last] +
+                                      points[runs[r].first]);
+    const double hi = r + 1 == runs.size()
+                          ? inf
+                          : 0.5 * (points[runs[r].last] +
+                                   points[runs[r + 1].first]);
+    Cell cell;
+    const bool holds_mean =
+        points[runs[r].first] <= cmu && cmu <= points[runs[r].last];
+    // The representative must be a probed point (known to decode into this
+    // cell); the mean itself when the cell holds it, else the middle probe.
+    cell.rep = holds_mean ? cmu : points[(runs[r].first + runs[r].last) / 2];
+    if (sd > 1e-12) {
+      cell.mass = normal_cdf(hi, mu, sd) - normal_cdf(lo, mu, sd);
+    } else {
+      // Degenerate marginal: every sample is the clamped mean.
+      cell.mass = holds_mean ? 1.0 : 0.0;
+    }
+    cells.push_back(cell);
+  }
+  std::stable_sort(cells.begin(), cells.end(), [](const Cell& a,
+                                                  const Cell& b) {
+    if (a.mass != b.mass) return a.mass > b.mass;
+    return a.rep < b.rep;  // deterministic tie-break
+  });
+  if (static_cast<int>(cells.size()) > max_cells)
+    cells.resize(static_cast<std::size_t>(max_cells));
+  return cells;
+}
+
+}  // namespace
+
+std::vector<PredictedCandidate> predict_decode_buckets(
+    const CmaEs& cma, const HwEncodingSpec& spec,
+    const SpeculationPredictorOptions& options) {
+  const int dim = spec.genome_size();
+  assert(static_cast<int>(cma.mean().size()) == dim);
+  const int grid = std::max(3, options.grid);
+  const int max_cells = std::max(1, options.max_cells_per_dim);
+
+  std::vector<double> mean_context(cma.mean());
+  for (double& v : mean_context) v = std::clamp(v, 0.0, 1.0);
+
+  std::vector<std::vector<Cell>> cells(static_cast<std::size_t>(dim));
+  for (int i = 0; i < dim; ++i) {
+    cells[static_cast<std::size_t>(i)] =
+        probe_dim_cells(spec, mean_context, i, cma.mean()[
+                            static_cast<std::size_t>(i)],
+                        cma.marginal_stddev(i), grid, max_cells);
+  }
+
+  // Best-first top-K over the product lattice of per-gene cells. Each
+  // dimension's cells are sorted by descending mass, so incrementing any
+  // index never increases a node's mass: expanding the frontier from the
+  // all-zeros node enumerates compositions in non-increasing joint mass.
+  struct Node {
+    double mass = 0.0;
+    std::vector<int> idx;
+  };
+  const auto worse = [](const Node& a, const Node& b) {
+    if (a.mass != b.mass) return a.mass < b.mass;
+    return a.idx > b.idx;  // deterministic order among equal masses
+  };
+  std::priority_queue<Node, std::vector<Node>, decltype(worse)> frontier(
+      worse);
+  std::set<std::vector<int>> queued;
+
+  const auto node_mass = [&cells](const std::vector<int>& idx) {
+    double m = 1.0;
+    for (std::size_t i = 0; i < idx.size(); ++i)
+      m *= cells[i][static_cast<std::size_t>(idx[i])].mass;
+    return m;
+  };
+  {
+    Node root;
+    root.idx.assign(static_cast<std::size_t>(dim), 0);
+    root.mass = node_mass(root.idx);
+    queued.insert(root.idx);
+    frontier.push(std::move(root));
+  }
+
+  std::vector<PredictedCandidate> out;
+  std::unordered_set<std::uint64_t> seen_fingerprints;
+  // Distinct decodes can be fewer than lattice nodes (inactive genes,
+  // interacting dims), so cap the pops independently of top_k.
+  int pops_left = 64 + 16 * options.top_k;
+  while (!frontier.empty() &&
+         static_cast<int>(out.size()) < options.top_k && pops_left-- > 0) {
+    const Node node = frontier.top();
+    frontier.pop();
+
+    std::vector<double> genome(static_cast<std::size_t>(dim));
+    for (int i = 0; i < dim; ++i)
+      genome[static_cast<std::size_t>(i)] =
+          cells[static_cast<std::size_t>(i)][
+              static_cast<std::size_t>(node.idx[static_cast<std::size_t>(i)])]
+              .rep;
+    arch::ArchConfig cfg = spec.decode(genome);
+    if (spec.resources.allows(cfg) &&
+        seen_fingerprints.insert(arch_fingerprint(cfg)).second) {
+      PredictedCandidate cand;
+      cand.config = std::move(cfg);
+      cand.genome = genome;
+      cand.mass = node.mass;
+      out.push_back(std::move(cand));
+    }
+
+    for (int i = 0; i < dim; ++i) {
+      std::vector<int> next = node.idx;
+      const auto s = static_cast<std::size_t>(i);
+      if (next[s] + 1 >=
+          static_cast<int>(cells[s].size()))
+        continue;
+      ++next[s];
+      if (!queued.insert(next).second) continue;
+      Node succ;
+      succ.mass = node_mass(next);
+      succ.idx = std::move(next);
+      frontier.push(std::move(succ));
+    }
+  }
+  return out;
+}
+
+}  // namespace naas::search

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/accelerator.hpp"
+#include "search/cma_es.hpp"
+#include "search/encoding.hpp"
+
+namespace naas::search {
+
+/// One predicted decoded candidate: a concrete ArchConfig the *next* CMA
+/// generation is likely to sample, with the (independence-approximated)
+/// probability mass of its decode cell under the current distribution.
+struct PredictedCandidate {
+  arch::ArchConfig config;
+  std::vector<double> genome;  ///< representative genome (cell centers)
+  double mass = 0.0;           ///< product of per-gene cell masses
+};
+
+/// Tuning knobs of the decode-bucket predictor.
+struct SpeculationPredictorOptions {
+  /// Decode cells retained per gene: the cell containing the distribution
+  /// mean plus its highest-mass neighbors.
+  int max_cells_per_dim = 3;
+  /// Decoded candidates returned (after fingerprint dedup).
+  int top_k = 8;
+  /// Probe points per gene when locating cell boundaries. Boundaries are
+  /// resolved to half the grid spacing; 33 resolves every quantization
+  /// step of the hardware encoding at negligible cost (each probe is one
+  /// decode, microseconds).
+  int grid = 33;
+};
+
+/// Predicts the decoded architectures the next CMA-ES generation is most
+/// likely to contain — the decoded-space speculation predictor.
+///
+/// Raw-vector resampling almost never collides with a real sample: two
+/// independent 13-gene draws land in the same *decoded* configuration only
+/// if they agree in every gene's quantization cell at once, and a handful
+/// of full-sigma draws cover almost none of that product space. This
+/// predictor inverts the problem: instead of sampling genomes and hoping
+/// their decodes collide, it enumerates the decode cells themselves.
+///
+/// Per gene, the decode is a step function (round_stride / log_lerp
+/// bucketing, importance-order crossings): holding every other gene at the
+/// distribution mean, probing a fine grid and fingerprinting each decode
+/// locates the cell boundaries. Each cell is weighted by the Gaussian
+/// mass the current marginal (mean_i, marginal_stddev(i)) puts on it —
+/// clamping mass beyond [0,1] accrues to the boundary cells, matching the
+/// sampler's clamp. The top-K *joint* candidates are then composed
+/// best-first over the product lattice of per-gene cells (mass = product
+/// of the per-gene masses), decoded, deduplicated by arch fingerprint,
+/// and filtered to the resource envelope.
+///
+/// Determinism contract: a pure function of (optimizer distribution,
+/// encoding spec, options). It reads only CmaEs::mean()/marginal_stddev()
+/// — never a generator — so the optimizer's RNG stream NEVER advances, no
+/// matter how often prediction runs; the result is identical for every
+/// thread count and independent of scheduling.
+std::vector<PredictedCandidate> predict_decode_buckets(
+    const CmaEs& cma, const HwEncodingSpec& spec,
+    const SpeculationPredictorOptions& options = {});
+
+}  // namespace naas::search

@@ -1,0 +1,91 @@
+#include "search/surrogate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/stats.hpp"
+
+namespace naas::search {
+
+const char* surrogate_mode_name(SurrogateMode mode) {
+  switch (mode) {
+    case SurrogateMode::kOff: return "off";
+    case SurrogateMode::kPrune: return "prune";
+  }
+  return "off";
+}
+
+bool parse_surrogate_mode(std::string_view text, SurrogateMode* out) {
+  if (text == "off") {
+    *out = SurrogateMode::kOff;
+    return true;
+  }
+  if (text == "prune") {
+    *out = SurrogateMode::kPrune;
+    return true;
+  }
+  return false;
+}
+
+SurrogateBound surrogate_layer_bound(const cost::LayerContext& ctx) {
+  SurrogateBound b;
+  if (!ctx.arch_valid || ctx.degenerate) {
+    // Every mapping of such a context reports +inf EDP, so +inf is the
+    // exact bound (and pruning on it reproduces the true fitness).
+    b.latency_cycles = std::numeric_limits<double>::infinity();
+    b.energy_nj = std::numeric_limits<double>::infinity();
+    b.edp = std::numeric_limits<double>::infinity();
+    return b;
+  }
+  // Latency: the model takes max(compute, noc, dram) + fill, and each
+  // occupancy is floored by its compulsory counterpart (compute_cycles >=
+  // macs/pes because per-PE iteration spaces are padded shares of the full
+  // loop nest; noc/dram cycles >= compulsory bytes over the port width).
+  // The fp2/dram_bw fill term is dropped (>= 0); array_depth is invariant.
+  const double compute_lb = ctx.macs / ctx.pes;
+  const double dram_lb = ctx.compulsory_bytes / ctx.dram_bw;
+  const double noc_lb = ctx.compulsory_bytes / ctx.noc_bw;
+  b.latency_cycles =
+      std::max({compute_lb, dram_lb, noc_lb}) + ctx.array_depth;
+  // Energy: MAC energy is mapping-invariant; the compulsory bytes are paid
+  // at least once against DRAM (dram_bytes) and once against L2 (fills +
+  // drains), at the context's precomputed per-byte coefficients. L1 and
+  // NoC-hop energies are dropped (>= 0).
+  b.energy_nj = (ctx.mac_energy_pj +
+                 ctx.compulsory_bytes *
+                     (ctx.l2_access_pj + ctx.dram_pj_per_byte)) /
+                1000.0;
+  b.edp = b.energy_nj * b.latency_cycles;
+  return b;
+}
+
+double surrogate_network_edp_bound(const cost::CostModel& model,
+                                   const arch::ArchConfig& arch,
+                                   const nn::Network& net) {
+  double latency = 0.0;
+  double energy = 0.0;
+  for (const auto& [layer, count] : net.unique_layers()) {
+    const cost::LayerContext ctx = model.make_context(arch, layer);
+    const SurrogateBound b = surrogate_layer_bound(ctx);
+    if (!std::isfinite(b.edp)) return std::numeric_limits<double>::infinity();
+    latency += b.latency_cycles * count;
+    energy += b.energy_nj * count;
+  }
+  return energy * latency;
+}
+
+double surrogate_geomean_edp_bound(
+    const cost::CostModel& model, const arch::ArchConfig& arch,
+    const std::vector<nn::Network>& benchmarks) {
+  std::vector<double> bounds;
+  bounds.reserve(benchmarks.size());
+  for (const auto& net : benchmarks) {
+    const double edp = surrogate_network_edp_bound(model, arch, net);
+    if (!std::isfinite(edp)) return std::numeric_limits<double>::infinity();
+    bounds.push_back(edp);
+  }
+  return core::geomean(bounds);
+}
+
+}  // namespace naas::search

@@ -341,6 +341,13 @@ Json EvalService::cache_stats_json() const {
   obj.set("speculative_hits", Json::integer(evaluator_.speculative_hits()));
   obj.set("speculative_wasted",
           Json::integer(evaluator_.speculative_wasted()));
+  // Surrogate-pruning meters: the serving path itself consults no bounds
+  // (it evaluates every request), so these stay 0 unless a warm-started
+  // search driver shares the evaluator; surfaced for parity with the
+  // search drivers' stderr summaries.
+  obj.set("surrogate_consults",
+          Json::integer(evaluator_.surrogate_consults()));
+  obj.set("surrogate_pruned", Json::integer(evaluator_.surrogate_pruned()));
   obj.set("store_entries_loaded",
           Json::integer(
               static_cast<std::int64_t>(evaluator_.store_entries_loaded())));

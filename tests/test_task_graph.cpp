@@ -12,6 +12,7 @@
 #include "search/accelerator_search.hpp"
 #include "search/cma_es.hpp"
 #include "search/eval_pipeline.hpp"
+#include "search/speculation.hpp"
 
 namespace naas {
 namespace {
@@ -251,20 +252,41 @@ TEST(CmaEsStepApi, TellPartialMatchesBarrierAskTell) {
   }
 }
 
-TEST(CmaEsStepApi, SpeculativeSamplingLeavesOptimizerStreamUntouched) {
+TEST(CmaEsStepApi, SpeculationPredictorLeavesOptimizerStreamUntouched) {
+  const search::HwEncodingSpec hw = search::make_hw_spec(
+      arch::eyeriss_resources(), search::OrderEncoding::kImportance, true);
   search::CmaEsOptions opts;
-  opts.dim = 3;
+  opts.dim = hw.genome_size();
   opts.population = 6;
   opts.seed = 7;
   search::CmaEs a(opts);
   search::CmaEs b(opts);
 
-  // Draw speculative samples from `a` only; its primary stream must stay
-  // in lockstep with the untouched twin.
-  core::Rng spec_rng = core::rng_stream(7, 99);
-  const auto mean_draw = a.sample_speculative(spec_rng, 0.0);
-  EXPECT_EQ(mean_draw, a.mean());  // shrink 0 is the clamped mean
-  for (int i = 0; i < 5; ++i) (void)a.sample_speculative(spec_rng, 0.5);
+  // Predict from `a` only — repeatedly. The predictor reads the
+  // distribution, never a generator, so `a`'s primary stream must stay in
+  // lockstep with the untouched twin.
+  const auto first = search::predict_decode_buckets(a, hw);
+  ASSERT_FALSE(first.empty());
+  for (int i = 0; i < 5; ++i) {
+    const auto again = search::predict_decode_buckets(a, hw);
+    ASSERT_EQ(again.size(), first.size()) << i;  // pure function
+    for (std::size_t k = 0; k < first.size(); ++k) {
+      EXPECT_EQ(search::arch_fingerprint(again[k].config),
+                search::arch_fingerprint(first[k].config));
+      EXPECT_EQ(again[k].mass, first[k].mass);
+    }
+  }
+  // Candidates come out in non-increasing joint-mass order, inside the
+  // resource envelope, and fingerprint-distinct.
+  for (std::size_t k = 0; k < first.size(); ++k) {
+    EXPECT_GT(first[k].mass, 0.0);
+    EXPECT_LE(first[k].mass, 1.0);
+    if (k > 0) EXPECT_GE(first[k - 1].mass, first[k].mass);
+    EXPECT_TRUE(hw.resources.allows(first[k].config));
+    for (std::size_t j = 0; j < k; ++j)
+      EXPECT_NE(search::arch_fingerprint(first[j].config),
+                search::arch_fingerprint(first[k].config));
+  }
 
   EXPECT_EQ(a.ask(), b.ask());
 }
